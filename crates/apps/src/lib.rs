@@ -1,0 +1,35 @@
+//! # apps — the paper's application scenarios
+//!
+//! Every worked example from the paper, runnable under `simnet`, with the
+//! CATOCS approach and the state-level alternative implemented side by
+//! side so the experiments can compare them:
+//!
+//! - [`trading`] — Figure 4: option/theoretical pricing with the false
+//!   crossing anomaly; fixed by dependency fields (§4.1).
+//! - [`shopfloor`] — Figure 2: shop-floor control with a shared database
+//!   as hidden channel; fixed by database version numbers (§3.1).
+//! - [`firemon`] — Figure 3: the fire as an external channel; fixed by
+//!   real-time timestamps.
+//! - [`naming`] — §4.5: replication in the large — a lazily replicated
+//!   global name service with the duplicate-binding undo rule.
+//! - [`netnews`] — §4.1: inquiry/response ordering via the `References`
+//!   field and an order-preserving cache, versus per-inquiry causal
+//!   groups.
+//! - [`drilling`] — appendix 9.1: distributed CATOCS scheduling versus a
+//!   central-controller state approach; message traffic comparison.
+//! - [`rpc`] — appendix 9.2: RPC deadlock detection by causal multicast
+//!   of every invocation (van Renesse) versus periodic wait-for reports.
+//! - [`oven`] — §4.6: real-time oven monitoring; CATOCS holdback
+//!   staleness versus latest-wins delivery with synchronized clocks.
+//! - [`threads`] — §3.1's second hidden channel: threads of one server
+//!   sharing memory, with multicasts inverted by scheduling lag.
+
+pub mod drilling;
+pub mod firemon;
+pub mod naming;
+pub mod netnews;
+pub mod oven;
+pub mod rpc;
+pub mod shopfloor;
+pub mod threads;
+pub mod trading;

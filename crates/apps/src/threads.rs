@@ -1,0 +1,258 @@
+//! The multi-threaded server hidden channel — §3.1's second example.
+//!
+//! "It is possible that thread 1 updates the shared memory data
+//! structures first, but is delayed by scheduling in sending its
+//! multicast message so that the second update by thread 2 is actually
+//! multicast first and therefore is delivered by CATOCS out of order with
+//! respect to the actual shared state update and the true causal
+//! dependencies."
+//!
+//! The model: one server process hosts two logical threads sharing a
+//! counter. Each thread increments the counter (the shared-memory event)
+//! and then multicasts the new value — but the multicast is delayed by a
+//! random scheduling lag. Because both multicasts originate from the
+//! *same* process endpoint, cbcast stamps them in send order, which may
+//! invert the true shared-state order. The observer's naive state is then
+//! wrong; the shared-memory version number carried in the payload fixes
+//! it.
+//!
+//! (Forcing the threads to communicate through the message system instead
+//! would fix the inversion but, as the paper notes, "would impractically
+//! reduce the performance of multi-threaded servers".)
+
+use catocs::cbcast::CbcastEndpoint;
+use catocs::group::GroupConfig;
+use catocs::wire::{Dest, Out, Wire};
+use clocks::versions::{ObjectId, Version, VersionedTag};
+use rand::Rng;
+use simnet::net::NetConfig;
+use simnet::process::{Ctx, Process, ProcessId, TimerId};
+use simnet::sim::SimBuilder;
+use simnet::time::{SimDuration, SimTime};
+use statelevel::versioned::VersionedStore;
+
+/// The shared counter object.
+pub const COUNTER: ObjectId = ObjectId(7);
+
+/// A multicast update: the counter's new value and its shared-memory
+/// version (the state-level clock the fix relies on).
+#[derive(Clone, Debug)]
+pub struct CounterUpdate {
+    /// Which logical thread produced it.
+    pub thread: usize,
+    /// The value written.
+    pub value: i64,
+    /// The shared-memory version at the write.
+    pub version: u64,
+}
+
+const TICK: TimerId = TimerId(0);
+/// Thread i's multicast fires as timer 10+i after its scheduling lag.
+const THREAD_SEND_BASE: u64 = 10;
+
+/// The server process hosting two logical threads.
+pub struct ThreadedServer {
+    endpoint: CbcastEndpoint<CounterUpdate>,
+    /// The shared data structure (and its version counter).
+    counter: i64,
+    version: u64,
+    /// Updates written to shared memory but not yet multicast (indexed
+    /// by thread): the scheduling gap of the paper.
+    staged: [Option<CounterUpdate>; 2],
+    max_lag: SimDuration,
+}
+
+impl ThreadedServer {
+    fn route(&self, ctx: &mut Ctx<'_, Wire<CounterUpdate>>, out: Vec<Out<CounterUpdate>>) {
+        for (dest, w) in out {
+            match dest {
+                Dest::All => ctx.send(ProcessId(1), w),
+                Dest::One(_) => ctx.send(ProcessId(1), w),
+            }
+        }
+    }
+}
+
+impl Process<Wire<CounterUpdate>> for ThreadedServer {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Wire<CounterUpdate>>) {
+        ctx.set_timer(TICK, SimDuration::from_millis(5));
+        // Both threads update shared memory "now", in thread order:
+        // thread 0 writes first, thread 1 second. The multicasts are
+        // issued after independent random scheduling lags.
+        for thread in 0..2usize {
+            self.version += 1;
+            self.counter += 100 + thread as i64;
+            self.staged[thread] = Some(CounterUpdate {
+                thread,
+                value: self.counter,
+                version: self.version,
+            });
+            let lag = SimDuration::from_micros(
+                ctx.rng().gen_range(0..=self.max_lag.as_micros()),
+            );
+            ctx.set_timer(TimerId(THREAD_SEND_BASE + thread as u64), lag);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Wire<CounterUpdate>>, _f: ProcessId, m: Wire<CounterUpdate>) {
+        let (_d, out) = self.endpoint.on_wire(ctx.now(), m);
+        self.route(ctx, out);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Wire<CounterUpdate>>, t: TimerId) {
+        match t {
+            TICK => {
+                let out = self.endpoint.on_tick(ctx.now());
+                self.route(ctx, out);
+                ctx.set_timer(TICK, SimDuration::from_millis(5));
+            }
+            TimerId(x) if x >= THREAD_SEND_BASE => {
+                let thread = (x - THREAD_SEND_BASE) as usize;
+                if let Some(update) = self.staged[thread].take() {
+                    let (_d, out) = self.endpoint.multicast(ctx.now(), update);
+                    self.route(ctx, out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The observing group member.
+pub struct ThreadObserver {
+    endpoint: CbcastEndpoint<CounterUpdate>,
+    /// Naive: last delivered value wins.
+    pub naive_value: Option<i64>,
+    /// Version-checked state.
+    pub store: VersionedStore<i64>,
+    /// Deliveries as (version, value).
+    pub delivered: Vec<(u64, i64)>,
+}
+
+impl Process<Wire<CounterUpdate>> for ThreadObserver {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Wire<CounterUpdate>>) {
+        ctx.set_timer(TICK, SimDuration::from_millis(5));
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Wire<CounterUpdate>>, _f: ProcessId, m: Wire<CounterUpdate>) {
+        let (dels, out) = self.endpoint.on_wire(ctx.now(), m);
+        for d in dels {
+            self.naive_value = Some(d.payload.value);
+            self.store.apply_remote(
+                VersionedTag::new(COUNTER, Version(d.payload.version)),
+                d.payload.value,
+            );
+            self.delivered.push((d.payload.version, d.payload.value));
+        }
+        for (_, w) in out {
+            ctx.send(ProcessId(0), w);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Wire<CounterUpdate>>, _t: TimerId) {
+        let out = self.endpoint.on_tick(ctx.now());
+        for (_, w) in out {
+            ctx.send(ProcessId(0), w);
+        }
+        ctx.set_timer(TICK, SimDuration::from_millis(5));
+    }
+}
+
+/// Results of one run.
+#[derive(Clone, Debug)]
+pub struct ThreadsResult {
+    /// The multicasts left the server in inverted order.
+    pub inverted: bool,
+    /// Naive observer's final value.
+    pub naive_value: Option<i64>,
+    /// Version-checked final value.
+    pub versioned_value: Option<i64>,
+    /// The true final counter value.
+    pub truth: i64,
+}
+
+/// Runs the two-thread scenario once. `max_lag` is the scheduling delay
+/// bound between a shared-memory write and its multicast.
+pub fn run_threads(seed: u64, max_lag: SimDuration, net: NetConfig) -> ThreadsResult {
+    let mut sim = SimBuilder::new(seed).net(net).build::<Wire<CounterUpdate>>();
+    let cfg = GroupConfig::default();
+    sim.add_process(ThreadedServer {
+        endpoint: CbcastEndpoint::new(0, 2, cfg.clone()),
+        counter: 0,
+        version: 0,
+        staged: [None, None],
+        max_lag,
+    });
+    sim.add_process(ThreadObserver {
+        endpoint: CbcastEndpoint::new(1, 2, cfg),
+        naive_value: None,
+        store: VersionedStore::new(),
+        delivered: Vec::new(),
+    });
+    sim.run_until(SimTime::from_secs(2));
+    // Truth: thread 0 wrote 100, thread 1 then wrote 201 → counter 201.
+    let truth = 201;
+    let obs: &ThreadObserver = sim.process(ProcessId(1)).expect("observer");
+    let inverted = obs
+        .delivered
+        .first()
+        .map(|&(v, _)| v != 1)
+        .unwrap_or(false);
+    ThreadsResult {
+        inverted,
+        naive_value: obs.naive_value,
+        versioned_value: obs.store.get(COUNTER).map(|r| r.value),
+        truth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduling_lag_inverts_the_multicast_order() {
+        // cbcast stamps in send order, so the inversion happens *inside*
+        // the endpoint: delivery is causal yet semantically wrong.
+        let mut inverted = 0;
+        let mut naive_wrong = 0;
+        for seed in 0..40 {
+            let r = run_threads(
+                seed,
+                SimDuration::from_millis(10),
+                NetConfig::ideal(SimDuration::from_millis(1)),
+            );
+            if r.inverted {
+                inverted += 1;
+                if r.naive_value != Some(r.truth) {
+                    naive_wrong += 1;
+                }
+            }
+        }
+        assert!(inverted > 0, "scheduling must invert some runs");
+        assert!(naive_wrong > 0, "inversion corrupts the naive observer");
+    }
+
+    #[test]
+    fn shared_memory_version_fixes_the_state() {
+        for seed in 0..40 {
+            let r = run_threads(
+                seed,
+                SimDuration::from_millis(10),
+                NetConfig::ideal(SimDuration::from_millis(1)),
+            );
+            assert_eq!(
+                r.versioned_value,
+                Some(r.truth),
+                "seed {seed}: version check must restore the true value"
+            );
+        }
+    }
+
+    #[test]
+    fn no_lag_no_inversion() {
+        let r = run_threads(1, SimDuration::ZERO, NetConfig::ideal(SimDuration::from_millis(1)));
+        assert!(!r.inverted);
+        assert_eq!(r.naive_value, Some(r.truth));
+    }
+}

@@ -1,0 +1,87 @@
+//! Criterion benches for the multicast endpoints: the per-message
+//! processing cost of each ordering discipline (send path and receive
+//! path), measured outside the simulator.
+//!
+//! These are the "performance-critical message transmission and reception
+//! paths" of the paper's conclusion — the cost a CATOCS layer adds to
+//! every message even before any network effect.
+
+use catocs::cbcast::CbcastEndpoint;
+use catocs::fbcast::FbcastEndpoint;
+use catocs::group::GroupConfig;
+use catocs::wire::{Dest, Wire};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use simnet::time::SimTime;
+
+const SIZES: &[usize] = &[4, 16, 64];
+
+fn bench_cbcast_send(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cbcast_multicast");
+    for &n in SIZES {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut ep: CbcastEndpoint<u64> = CbcastEndpoint::new(0, n, GroupConfig::default());
+            let mut t = 0u64;
+            b.iter(|| {
+                t += 1;
+                black_box(ep.multicast(SimTime::from_micros(t), t))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_fbcast_send(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fbcast_multicast");
+    for &n in SIZES {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut ep: FbcastEndpoint<u64> = FbcastEndpoint::new(0, n, GroupConfig::default());
+            let mut t = 0u64;
+            b.iter(|| {
+                t += 1;
+                black_box(ep.multicast(SimTime::from_micros(t), t))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_cbcast_receive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cbcast_receive_in_order");
+    for &n in SIZES {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            // Pre-generate a long in-order stream from a peer sender.
+            let mut sender: CbcastEndpoint<u64> =
+                CbcastEndpoint::new(1, n, GroupConfig::default());
+            let msgs: Vec<Wire<u64>> = (0..10_000u64)
+                .map(|i| {
+                    let (_, out) = sender.multicast(SimTime::from_micros(i), i);
+                    out.into_iter()
+                        .find_map(|(d, w)| (d == Dest::All).then_some(w))
+                        .expect("data message")
+                })
+                .collect();
+            let mut receiver: CbcastEndpoint<u64> =
+                CbcastEndpoint::new(0, n, GroupConfig::default());
+            let mut i = 0usize;
+            b.iter(|| {
+                // Re-create the receiver when the stream is exhausted.
+                if i == msgs.len() {
+                    receiver = CbcastEndpoint::new(0, n, GroupConfig::default());
+                    i = 0;
+                }
+                let r = receiver.on_wire(SimTime::from_micros(i as u64), msgs[i].clone());
+                i += 1;
+                black_box(r)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cbcast_send,
+    bench_fbcast_send,
+    bench_cbcast_receive
+);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Criterion benches for the state-level substrate: lock manager, OCC
+//! validation, versioned-store applies, and wait-for cycle detection.
+//!
+//! These bound the cost of the paper's alternatives — the point of
+//! comparison for "CATOCS protocols do not offer efficiency gain over
+//! state-level techniques" (§3.4, limitation 4).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeSet;
+
+fn bench_lock_acquire_release(c: &mut Criterion) {
+    use txn::lock::{LockManager, LockMode, TxId};
+    c.bench_function("lock_acquire_release_10keys", |b| {
+        b.iter(|| {
+            let mut lm = LockManager::new();
+            for tx in 0..4u64 {
+                for k in 0..10u64 {
+                    lm.acquire(TxId(tx), k, LockMode::Shared);
+                }
+            }
+            for tx in 0..4u64 {
+                black_box(lm.release_all(TxId(tx)));
+            }
+        });
+    });
+}
+
+fn bench_occ_validation(c: &mut Criterion) {
+    use clocks::lamport::TotalStamp;
+    use txn::lock::TxId;
+    use txn::occ::OccValidator;
+    let mut g = c.benchmark_group("occ_validate_history");
+    for &hist in &[16usize, 128, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(hist), &hist, |b, &hist| {
+            let mut v = OccValidator::new();
+            for i in 0..hist as u64 {
+                let w: BTreeSet<u64> = [i % 64].into_iter().collect();
+                v.validate(
+                    TxId(i),
+                    TotalStamp { time: i, node: 0 },
+                    TotalStamp {
+                        time: i + 1,
+                        node: 0,
+                    },
+                    &BTreeSet::new(),
+                    &w,
+                );
+            }
+            let reads: BTreeSet<u64> = [1u64, 2, 3].into_iter().collect();
+            let writes: BTreeSet<u64> = [99u64].into_iter().collect();
+            let mut t = hist as u64;
+            b.iter(|| {
+                t += 1;
+                black_box(v.validate(
+                    TxId(t),
+                    TotalStamp { time: t - 1, node: 1 },
+                    TotalStamp { time: t, node: 1 },
+                    &reads,
+                    &writes,
+                ))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_versioned_apply(c: &mut Criterion) {
+    use clocks::versions::{ObjectId, Version, VersionedTag};
+    use statelevel::versioned::VersionedStore;
+    c.bench_function("versioned_store_apply_remote", |b| {
+        let mut s: VersionedStore<u64> = VersionedStore::new();
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            black_box(s.apply_remote(VersionedTag::new(ObjectId(v % 100), Version(v)), v))
+        });
+    });
+}
+
+fn bench_cycle_detection(c: &mut Criterion) {
+    use statelevel::predicate::WaitForGraph;
+    let mut g = c.benchmark_group("waitfor_find_cycle");
+    for &n in &[16usize, 128, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            // A long chain plus one back edge: worst-ish case DFS.
+            let mut graph = WaitForGraph::new();
+            for i in 0..n {
+                graph.add_wait(i, i + 1);
+            }
+            graph.add_wait(n, 0);
+            b.iter(|| black_box(graph.find_cycle()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lock_acquire_release,
+    bench_occ_validation,
+    bench_versioned_apply,
+    bench_cycle_detection
+);
+criterion_main!(benches);

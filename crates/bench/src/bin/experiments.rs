@@ -1,0 +1,68 @@
+//! The experiment harness CLI: regenerates every figure and table.
+//!
+//! ```text
+//! experiments all          # everything, paper order
+//! experiments f1 f4 t5     # selected experiments
+//! experiments list         # what exists
+//! ```
+
+use bench::experiments as ex;
+
+fn print_usage() {
+    eprintln!(
+        "usage: experiments [all|list|f1|f2|f3|f4|t5|t6|t7|t8|t9|t10|t11|t12|t13|t14|t15|t16|ablate]..."
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+    for arg in &args {
+        match arg.as_str() {
+            "list" => {
+                println!(
+                    "f1 f2 f3 f4 — figures; t5..t16 — quantitative claims; \
+                     ablate — design ablations; all"
+                );
+            }
+            "all" => {
+                for t in ex::run_all() {
+                    println!("{t}");
+                }
+            }
+            "f1" => {
+                let (t, diagram) = ex::f1::run(11);
+                println!("{diagram}");
+                println!("{t}");
+            }
+            "f2" => println!("{}", ex::f2::run(60)),
+            "f3" => println!("{}", ex::f3::run(60)),
+            "f4" => println!("{}", ex::f4::run(6)),
+            "t5" => println!("{}", ex::t5::run(&[4, 8, 16, 32, 48])),
+            "t6" => println!("{}", ex::t6::run(&[4, 8, 16, 32])),
+            "t7" => println!("{}", ex::t7::run(&[4, 8, 16, 32, 64, 128, 256])),
+            "t8" => println!("{}", ex::t8::run()),
+            "t9" => println!("{}", ex::t9::run(&[4, 8, 12])),
+            "t10" => println!("{}", ex::t10::run(&[2, 4, 8, 16])),
+            "t11" => println!("{}", ex::t11::run(&[4, 8, 16, 32])),
+            "t12" => println!("{}", ex::t12::run()),
+            "t13" => println!("{}", ex::t13::run(&[0.0, 0.05, 0.15, 0.30])),
+            "t14" => println!("{}", ex::t14::run()),
+            "t15" => println!("{}", ex::t15::run(&[3, 5, 9])),
+            "t16" => println!("{}", ex::t16::run()),
+            "ablate" => {
+                for t in ex::ablate::run() {
+                    println!("{t}");
+                }
+            }
+            other => {
+                eprintln!("unknown experiment: {other}");
+                print_usage();
+                std::process::exit(2);
+            }
+        }
+    }
+}

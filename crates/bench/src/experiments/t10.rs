@@ -1,0 +1,59 @@
+//! T10 — appendix 9.1: drilling traffic, distributed CATOCS scheduling
+//! versus a central cell controller.
+//!
+//! Fixed hole count, sweeping driller count: central traffic stays flat
+//! (assign + done per hole, plus the backup mirror), while every
+//! completion multicast in the distributed design fans out to all
+//! drillers.
+
+use crate::table::Table;
+use apps::drilling::{run_drilling_central, run_drilling_distributed};
+use simnet::net::NetConfig;
+
+/// Holes drilled in every configuration.
+const HOLES: u32 = 48;
+
+/// Runs the sweep over driller counts.
+pub fn run(drillers: &[usize]) -> Table {
+    let mut t = Table::new(
+        format!("T10 — appendix 9.1: drilling traffic ({HOLES} holes)"),
+        &[
+            "drillers",
+            "central msgs",
+            "distributed msgs",
+            "distributed data msgs",
+            "ratio dist/central",
+        ],
+    );
+    for &d in drillers {
+        let c = run_drilling_central(1, d, HOLES, NetConfig::lossy_lan(0.0));
+        let x = run_drilling_distributed(1, d, HOLES, NetConfig::lossy_lan(0.0));
+        assert!(c.each_hole_once && x.each_hole_once, "correctness first");
+        t.row(vec![
+            d.into(),
+            c.net_sent.into(),
+            x.net_sent.into(),
+            x.data_msgs.into(),
+            (x.net_sent as f64 / c.net_sent as f64).into(),
+        ]);
+    }
+    t.note("paper: \"the communication traffic is linear in the number of");
+    t.note("driller controllers, not quadratic as claimed for Birman's");
+    t.note("solution\" — the central column is flat; the distributed column");
+    t.note("grows with every added driller.");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn central_flat_distributed_grows() {
+        let t = run(&[2, 8]);
+        let central_growth = t.get_f64(1, 1) / t.get_f64(0, 1);
+        let dist_growth = t.get_f64(1, 3) / t.get_f64(0, 3);
+        assert!(central_growth < 1.5, "central {central_growth}");
+        assert!(dist_growth > 3.0, "distributed {dist_growth}");
+    }
+}

@@ -1,0 +1,59 @@
+//! T16 — §4.3: a complete transaction system with zero ordered multicast.
+//!
+//! Sharded data nodes (2PL + MVCC), clients committing two-key
+//! transactions via 2PC with randomized lock order, the §4.2 wait-for
+//! deadlock monitor resolving the resulting deadlocks. Sweeps contention
+//! and reports commits, deadlock aborts/retries, messages — and verifies
+//! serializability, which "a distributed transaction management protocol
+//! already" provides.
+
+use crate::table::Table;
+use txn::scenario::run_txn_scenario;
+
+/// Runs the contention sweep: (shards, clients, keys/shard).
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "T16 — §4.3 transactions without CATOCS (6 txs/client, random lock order)",
+        &[
+            "config",
+            "committed",
+            "deadlock aborts",
+            "resolved by monitor",
+            "messages",
+            "serializable",
+        ],
+    );
+    for (shards, clients, keys) in [(3usize, 3usize, 8u64), (3, 6, 4), (2, 8, 2)] {
+        let r = run_txn_scenario(9, shards, clients, keys, 6);
+        assert!(r.all_done, "workload must complete: {r:?}");
+        t.row(vec![
+            format!("{shards} shards × {clients} clients × {keys} keys").into(),
+            r.committed.into(),
+            (r.deadlock_aborts as u64).into(),
+            (r.deadlocks_resolved as u64).into(),
+            r.msgs.into(),
+            if r.serializable { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    t.note("locks order the transactions; deadlocks from the randomized");
+    t.note("acquisition order are detected by unordered wait-for reports and");
+    t.note("resolved by victim abort + retry. No causal or total multicast");
+    t.note("appears anywhere in the system.");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_configs_serialize_and_complete() {
+        let t = run();
+        let col = t.col("serializable").unwrap();
+        for r in &t.rows {
+            assert_eq!(r[col].to_string(), "yes");
+        }
+        // The high-contention config must show real deadlock resolution.
+        assert!(t.get_f64(2, 2) > 0.0, "contention must cause deadlocks");
+    }
+}

@@ -1,0 +1,381 @@
+//! Totally ordered multicast (`abcast`) via a fixed sequencer.
+//!
+//! Built on top of [`CbcastEndpoint`]: data disseminates causally (so the
+//! total order extends causal order, the assumption the paper makes in
+//! §2), and one member — the *sequencer* — assigns a global sequence
+//! number to each message as it is causally delivered there. All members
+//! release messages to the application strictly in global-sequence order.
+//!
+//! Consequences the paper highlights, reproduced faithfully:
+//!
+//! - even the *sender* of a message cannot deliver it before the
+//!   sequencer's order assignment arrives (unless it is the sequencer) —
+//!   total order costs an extra network hop over causal;
+//! - concurrent messages are ordered identically everywhere, but the
+//!   order is *incidental* (sequencer arrival), not semantic — Figure 4's
+//!   false crossing survives abcast, which experiment F4 demonstrates.
+
+use crate::cbcast::CbcastEndpoint;
+use crate::group::{GroupConfig, MsgId};
+use crate::wire::{Delivery, Dest, EndpointStats, Out, Wire};
+use simnet::time::SimTime;
+use std::collections::{BTreeMap, HashMap};
+
+/// The total-order endpoint for one group member.
+#[derive(Debug)]
+pub struct AbcastEndpoint<P> {
+    cb: CbcastEndpoint<P>,
+    sequencer: usize,
+    /// Sequencer only: next global sequence number to hand out.
+    next_assign: u64,
+    /// Known order assignments gseq → msg.
+    order: BTreeMap<u64, MsgId>,
+    /// Reverse map for diagnostics.
+    ordered: HashMap<MsgId, u64>,
+    /// Causally delivered but not yet released in total order.
+    unreleased: HashMap<MsgId, Delivery<P>>,
+    /// Highest gseq released to the application.
+    released: u64,
+    /// Last order-gap NACK time.
+    last_order_nack: Option<SimTime>,
+    cfg: GroupConfig,
+    stats: EndpointStats,
+}
+
+impl<P: Clone> AbcastEndpoint<P> {
+    /// Creates the endpoint for member `me` of a group of `n`, with the
+    /// given sequencer member (conventionally 0).
+    pub fn new(me: usize, n: usize, sequencer: usize, cfg: GroupConfig) -> Self {
+        assert!(sequencer < n, "sequencer out of range");
+        AbcastEndpoint {
+            cb: CbcastEndpoint::new(me, n, cfg.clone()),
+            sequencer,
+            next_assign: 0,
+            order: BTreeMap::new(),
+            ordered: HashMap::new(),
+            unreleased: HashMap::new(),
+            released: 0,
+            last_order_nack: None,
+            cfg,
+            stats: EndpointStats::default(),
+        }
+    }
+
+    /// This member's index.
+    pub fn me(&self) -> usize {
+        self.cb.me()
+    }
+
+    /// Whether this member is the sequencer.
+    pub fn is_sequencer(&self) -> bool {
+        self.cb.me() == self.sequencer
+    }
+
+    /// Total-order delivery statistics.
+    pub fn stats(&self) -> &EndpointStats {
+        &self.stats
+    }
+
+    /// The underlying causal layer's statistics (buffering, NACKs...).
+    pub fn causal_stats(&self) -> &EndpointStats {
+        self.cb.stats()
+    }
+
+    /// Messages causally delivered but awaiting their slot in the total
+    /// order.
+    pub fn unreleased_len(&self) -> usize {
+        self.unreleased.len()
+    }
+
+    /// Multicasts `payload`. Unlike cbcast there is no immediate
+    /// self-delivery: the message is released when its global order slot
+    /// comes up (immediately only at the sequencer).
+    pub fn multicast(&mut self, now: SimTime, payload: P) -> (Vec<Delivery<P>>, Vec<Out<P>>) {
+        let (self_delivery, mut out) = self.cb.multicast(now, payload);
+        self.stats.sent += 1;
+        self.unreleased.insert(self_delivery.id, self_delivery.clone());
+        if self.is_sequencer() {
+            self.assign_order(self_delivery.id, &mut out);
+        }
+        let released = self.release(now);
+        (released, out)
+    }
+
+    /// Handles an incoming wire message.
+    pub fn on_wire(&mut self, now: SimTime, wire: Wire<P>) -> (Vec<Delivery<P>>, Vec<Out<P>>) {
+        let mut out = Vec::new();
+        match wire {
+            Wire::Order { gseq, id } => {
+                self.order.entry(gseq).or_insert(id);
+                self.ordered.entry(id).or_insert(gseq);
+            }
+            Wire::OrderNack {
+                from,
+                from_gseq,
+                to_gseq,
+            } => {
+                if self.is_sequencer() {
+                    for g in from_gseq..=to_gseq {
+                        if let Some(&id) = self.order.get(&g) {
+                            let w = Wire::Order { gseq: g, id };
+                            self.stats.control_bytes += w.overhead_bytes() as u64;
+                            self.stats.retransmits_served += 1;
+                            out.push((Dest::One(from), w));
+                        }
+                    }
+                }
+            }
+            other => {
+                let (dels, cb_out) = self.cb.on_wire(now, other);
+                out.extend(cb_out);
+                for d in dels {
+                    if self.is_sequencer() {
+                        self.assign_order(d.id, &mut out);
+                    }
+                    self.unreleased.insert(d.id, d);
+                }
+            }
+        }
+        let released = self.release(now);
+        (released, out)
+    }
+
+    /// Periodic maintenance: causal-layer tick plus order-gap recovery.
+    pub fn on_tick(&mut self, now: SimTime) -> Vec<Out<P>> {
+        let mut out = self.cb.on_tick(now);
+        // The sequencer re-announces its latest assignment so that a lost
+        // final Order message (with no successor to expose the gap) is
+        // still recovered.
+        if self.is_sequencer() && self.next_assign > 0 {
+            if let Some(&id) = self.order.get(&self.next_assign) {
+                let w: Wire<P> = Wire::Order {
+                    gseq: self.next_assign,
+                    id,
+                };
+                self.stats.control_bytes += w.overhead_bytes() as u64;
+                out.push((Dest::All, w));
+            }
+        }
+        // If we hold order assignments beyond a gap, ask the sequencer to
+        // refill the gap.
+        if let Some((&max_known, _)) = self.order.iter().next_back() {
+            if max_known > self.released {
+                let gap_start = self.released + 1;
+                let missing = (gap_start..=max_known).any(|g| !self.order.contains_key(&g));
+                let overdue = match self.last_order_nack {
+                    None => true,
+                    Some(t) => now.saturating_since(t) >= self.cfg.nack_timeout,
+                };
+                if missing && overdue && !self.is_sequencer() {
+                    self.last_order_nack = Some(now);
+                    let w = Wire::OrderNack {
+                        from: self.me(),
+                        from_gseq: gap_start,
+                        to_gseq: max_known,
+                    };
+                    self.stats.nacks_sent += 1;
+                    self.stats.control_bytes += w.overhead_bytes() as u64;
+                    out.push((Dest::One(self.sequencer), w));
+                }
+            }
+        }
+        out
+    }
+
+    fn assign_order(&mut self, id: MsgId, out: &mut Vec<Out<P>>) {
+        if self.ordered.contains_key(&id) {
+            return;
+        }
+        self.next_assign += 1;
+        let gseq = self.next_assign;
+        self.order.insert(gseq, id);
+        self.ordered.insert(id, gseq);
+        let w: Wire<P> = Wire::Order { gseq, id };
+        self.stats.control_bytes += w.overhead_bytes() as u64;
+        out.push((Dest::All, w));
+    }
+
+    /// Releases every message whose global slot is next and whose data
+    /// has causally arrived.
+    fn release(&mut self, now: SimTime) -> Vec<Delivery<P>> {
+        let mut released = Vec::new();
+        while let Some(&id) = self.order.get(&(self.released + 1)) {
+            let Some(mut d) = self.unreleased.remove(&id) else {
+                break; // data not here yet
+            };
+            self.released += 1;
+            d.gseq = Some(self.released);
+            let held = now > d.arrived_at;
+            d.delivered_at = now;
+            self.stats.delivered += 1;
+            if held {
+                self.stats.delivered_after_hold += 1;
+                self.stats.hold_time_total += now.saturating_since(d.arrived_at);
+            }
+            released.push(d);
+        }
+        self.stats.note_holdback(self.unreleased.len() as u64);
+        released
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn group(n: usize) -> Vec<AbcastEndpoint<&'static str>> {
+        (0..n)
+            .map(|i| AbcastEndpoint::new(i, n, 0, GroupConfig::default()))
+            .collect()
+    }
+
+    /// Fans `out` messages to the right endpoints, collecting deliveries,
+    /// until quiescence. A miniature synchronous network.
+    fn settle(
+        eps: &mut [AbcastEndpoint<&'static str>],
+        from: usize,
+        out: Vec<Out<&'static str>>,
+        now: SimTime,
+        sink: &mut Vec<(usize, Delivery<&'static str>)>,
+    ) {
+        let mut queue: Vec<(usize, usize, Wire<&'static str>)> = Vec::new();
+        let n = eps.len();
+        for (dest, w) in out {
+            match dest {
+                Dest::All => {
+                    for k in 0..n {
+                        if k != from {
+                            queue.push((from, k, w.clone()));
+                        }
+                    }
+                }
+                Dest::One(k) => queue.push((from, k, w)),
+            }
+        }
+        while let Some((_src, dst, w)) = queue.pop() {
+            let (dels, more) = eps[dst].on_wire(now, w);
+            for d in dels {
+                sink.push((dst, d));
+            }
+            for (dest, w) in more {
+                match dest {
+                    Dest::All => {
+                        for k in 0..n {
+                            if k != dst {
+                                queue.push((dst, k, w.clone()));
+                            }
+                        }
+                    }
+                    Dest::One(k) => queue.push((dst, k, w)),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sequencer_delivers_own_message_immediately() {
+        let mut eps = group(3);
+        let (dels, _) = eps[0].multicast(t(0), "s");
+        assert_eq!(dels.len(), 1);
+        assert_eq!(dels[0].gseq, Some(1));
+    }
+
+    #[test]
+    fn non_sequencer_waits_for_order() {
+        let mut eps = group(3);
+        let (dels, out) = eps[1].multicast(t(0), "x");
+        assert!(dels.is_empty(), "sender must wait for the sequencer");
+        let mut sink = Vec::new();
+        settle(&mut eps, 1, out, t(1), &mut sink);
+        // The sequencer assigned order; everyone (incl. the sender, once
+        // it gets the Order message) can now release.
+        let seq_del: Vec<_> = sink.iter().filter(|(who, _)| *who == 0).collect();
+        assert_eq!(seq_del.len(), 1);
+        assert_eq!(seq_del[0].1.gseq, Some(1));
+    }
+
+    #[test]
+    fn all_members_release_same_order() {
+        let mut eps = group(4);
+        let mut sink: Vec<(usize, Delivery<&'static str>)> = Vec::new();
+        // Three concurrent multicasts from different members.
+        let (d0, o0) = eps[1].multicast(t(0), "a");
+        let (d1, o1) = eps[2].multicast(t(0), "b");
+        let (d2, o2) = eps[3].multicast(t(0), "c");
+        for d in d0.into_iter().chain(d1).chain(d2) {
+            sink.push((usize::MAX, d));
+        }
+        settle(&mut eps, 1, o0, t(1), &mut sink);
+        settle(&mut eps, 2, o1, t(2), &mut sink);
+        settle(&mut eps, 3, o2, t(3), &mut sink);
+        // Collect per-member release sequences.
+        let mut orders: Vec<Vec<(u64, &str)>> = vec![Vec::new(); 4];
+        for (who, d) in &sink {
+            if *who != usize::MAX {
+                orders[*who].push((d.gseq.unwrap(), d.payload));
+            }
+        }
+        // Senders' own releases come back through Order messages too; at
+        // minimum every member that released anything released a prefix
+        // of the same global sequence.
+        let reference: Vec<(u64, &str)> = orders
+            .iter()
+            .max_by_key(|v| v.len())
+            .cloned()
+            .unwrap();
+        for o in &orders {
+            assert_eq!(&reference[..o.len()], &o[..], "same total order everywhere");
+        }
+        assert_eq!(reference.len(), 3);
+    }
+
+    #[test]
+    fn order_nack_refetches_assignments() {
+        let mut eps = group(2);
+        let (_, out) = eps[0].multicast(t(0), "m1");
+        // Drop the Order broadcast: feed member 1 only the Data part.
+        let data = out
+            .iter()
+            .find(|(_, w)| matches!(w, Wire::Data(_)))
+            .cloned()
+            .unwrap();
+        let order = out
+            .iter()
+            .find(|(_, w)| matches!(w, Wire::Order { .. }))
+            .cloned()
+            .unwrap();
+        let (dels, _) = eps[1].on_wire(t(1), data.1);
+        assert!(dels.is_empty(), "no order assignment yet");
+        // Second multicast whose Order does arrive reveals the gap.
+        let (_, out2) = eps[0].multicast(t(2), "m2");
+        for (_, w) in out2 {
+            eps[1].on_wire(t(3), w);
+        }
+        // Tick triggers an OrderNack for the gap.
+        let tick_out = eps[1].on_tick(t(3) + GroupConfig::default().nack_timeout);
+        let nack = tick_out
+            .into_iter()
+            .find(|(_, w)| matches!(w, Wire::OrderNack { .. }));
+        assert!(nack.is_some(), "order gap NACKed");
+        let (_, resent) = eps[0].on_wire(t(4), nack.unwrap().1);
+        assert!(resent
+            .iter()
+            .any(|(_, w)| matches!(w, Wire::Order { gseq: 1, .. })));
+        // Delivering the original order releases both in order.
+        let (dels, _) = eps[1].on_wire(t(5), order.1);
+        assert_eq!(
+            dels.iter().map(|d| (d.gseq.unwrap(), d.payload)).collect::<Vec<_>>(),
+            vec![(1, "m1"), (2, "m2")]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sequencer out of range")]
+    fn rejects_bad_sequencer() {
+        let _ = AbcastEndpoint::<()>::new(0, 2, 5, GroupConfig::default());
+    }
+}

@@ -1,0 +1,232 @@
+//! A unified facade over the four multicast disciplines.
+//!
+//! Experiments sweep over disciplines ("same workload, different ordering
+//! guarantee"), so a single type that can be any of FIFO, causal,
+//! sequencer-total or token-total keeps the harness code honest: the only
+//! thing that changes between runs is the [`Discipline`].
+
+use crate::abcast::AbcastEndpoint;
+use crate::cbcast::CbcastEndpoint;
+use crate::fbcast::FbcastEndpoint;
+use crate::group::GroupConfig;
+use crate::token::TokenAbcastEndpoint;
+use crate::wire::{Delivery, EndpointStats, Out, Wire};
+use simnet::time::SimTime;
+
+/// Which ordering guarantee an endpoint provides.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Discipline {
+    /// Per-sender FIFO only (the conventional-transport baseline).
+    Fifo,
+    /// Causal (happens-before) delivery — cbcast.
+    Causal,
+    /// Total order via a fixed sequencer — abcast.
+    Total { sequencer: usize },
+    /// Total order via a rotating token.
+    TotalToken,
+}
+
+impl Discipline {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Discipline::Fifo => "fifo",
+            Discipline::Causal => "causal",
+            Discipline::Total { .. } => "total-seq",
+            Discipline::TotalToken => "total-token",
+        }
+    }
+}
+
+/// One group member's multicast endpoint, any discipline.
+#[derive(Debug)]
+pub enum Endpoint<P> {
+    /// FIFO.
+    Fifo(FbcastEndpoint<P>),
+    /// Causal.
+    Causal(CbcastEndpoint<P>),
+    /// Sequencer total order.
+    Total(AbcastEndpoint<P>),
+    /// Token total order.
+    TotalToken(TokenAbcastEndpoint<P>),
+}
+
+impl<P: Clone> Endpoint<P> {
+    /// Creates an endpoint for member `me` of a group of `n`.
+    pub fn new(d: Discipline, me: usize, n: usize, cfg: GroupConfig) -> Self {
+        match d {
+            Discipline::Fifo => Endpoint::Fifo(FbcastEndpoint::new(me, n, cfg)),
+            Discipline::Causal => Endpoint::Causal(CbcastEndpoint::new(me, n, cfg)),
+            Discipline::Total { sequencer } => {
+                Endpoint::Total(AbcastEndpoint::new(me, n, sequencer, cfg))
+            }
+            Discipline::TotalToken => {
+                Endpoint::TotalToken(TokenAbcastEndpoint::new(me, n, cfg))
+            }
+        }
+    }
+
+    /// The discipline this endpoint implements.
+    pub fn discipline(&self) -> Discipline {
+        match self {
+            Endpoint::Fifo(_) => Discipline::Fifo,
+            Endpoint::Causal(_) => Discipline::Causal,
+            Endpoint::Total(e) => Discipline::Total {
+                sequencer: if e.is_sequencer() { e.me() } else { usize::MAX },
+            },
+            Endpoint::TotalToken(_) => Discipline::TotalToken,
+        }
+    }
+
+    /// Multicasts `payload`. Deliveries returned are local deliveries that
+    /// became possible immediately (for FIFO/causal that includes the
+    /// self-delivery; total order may defer it).
+    pub fn multicast(&mut self, now: SimTime, payload: P) -> (Vec<Delivery<P>>, Vec<Out<P>>) {
+        match self {
+            Endpoint::Fifo(e) => {
+                let (d, o) = e.multicast(now, payload);
+                (vec![d], o)
+            }
+            Endpoint::Causal(e) => {
+                let (d, o) = e.multicast(now, payload);
+                (vec![d], o)
+            }
+            Endpoint::Total(e) => e.multicast(now, payload),
+            Endpoint::TotalToken(e) => e.submit(now, payload),
+        }
+    }
+
+    /// Handles an incoming wire message.
+    pub fn on_wire(&mut self, now: SimTime, wire: Wire<P>) -> (Vec<Delivery<P>>, Vec<Out<P>>) {
+        match self {
+            Endpoint::Fifo(e) => e.on_wire(now, wire),
+            Endpoint::Causal(e) => e.on_wire(now, wire),
+            Endpoint::Total(e) => e.on_wire(now, wire),
+            Endpoint::TotalToken(e) => e.on_wire(now, wire),
+        }
+    }
+
+    /// Periodic protocol maintenance. The token discipline also passes
+    /// the token along the ring here (hold-for-one-tick policy).
+    pub fn on_tick(&mut self, now: SimTime) -> Vec<Out<P>> {
+        match self {
+            Endpoint::Fifo(e) => e.on_tick(now),
+            Endpoint::Causal(e) => e.on_tick(now),
+            Endpoint::Total(e) => e.on_tick(now),
+            Endpoint::TotalToken(e) => {
+                let mut out = e.on_tick(now);
+                if let Some(pass) = e.pass_token() {
+                    out.push(pass);
+                }
+                out
+            }
+        }
+    }
+
+    /// Delivery/ordering statistics (the app-facing layer).
+    pub fn stats(&self) -> &EndpointStats {
+        match self {
+            Endpoint::Fifo(e) => e.stats(),
+            Endpoint::Causal(e) => e.stats(),
+            Endpoint::Total(e) => e.stats(),
+            Endpoint::TotalToken(e) => e.stats(),
+        }
+    }
+
+    /// Transport-layer statistics, where distinct from [`Self::stats`]
+    /// (the sequencer design separates causal dissemination from order
+    /// release).
+    pub fn transport_stats(&self) -> &EndpointStats {
+        match self {
+            Endpoint::Total(e) => e.causal_stats(),
+            other => other.stats(),
+        }
+    }
+
+    /// The causal layer's delivered vector clock, where one exists.
+    pub fn clock(&self) -> Option<&clocks::vector::VectorClock> {
+        match self {
+            Endpoint::Causal(e) => Some(e.clock()),
+            _ => None,
+        }
+    }
+
+    /// The causal layer's stable frontier, where one exists.
+    pub fn stable_frontier(&self) -> Option<clocks::vector::VectorClock> {
+        match self {
+            Endpoint::Causal(e) => Some(e.stable_frontier()),
+            _ => None,
+        }
+    }
+
+    /// Messages currently buffered for retransmission (unstable).
+    pub fn buffered_len(&self) -> usize {
+        match self {
+            Endpoint::Fifo(e) => e.buffered_len(),
+            Endpoint::Causal(e) => e.buffered_len(),
+            Endpoint::Total(e) => e.causal_stats().buffered_now as usize,
+            Endpoint::TotalToken(e) => e.stats().buffered_now as usize,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(Discipline::Fifo.name(), "fifo");
+        assert_eq!(Discipline::Causal.name(), "causal");
+        assert_eq!(Discipline::Total { sequencer: 0 }.name(), "total-seq");
+        assert_eq!(Discipline::TotalToken.name(), "total-token");
+    }
+
+    #[test]
+    fn construction_matches_discipline() {
+        let cfg = GroupConfig::default();
+        for d in [
+            Discipline::Fifo,
+            Discipline::Causal,
+            Discipline::Total { sequencer: 0 },
+            Discipline::TotalToken,
+        ] {
+            let ep: Endpoint<u32> = Endpoint::new(d, 1, 3, cfg.clone());
+            match (d, &ep) {
+                (Discipline::Fifo, Endpoint::Fifo(_)) => {}
+                (Discipline::Causal, Endpoint::Causal(_)) => {}
+                (Discipline::Total { .. }, Endpoint::Total(_)) => {}
+                (Discipline::TotalToken, Endpoint::TotalToken(_)) => {}
+                _ => panic!("mismatched endpoint"),
+            }
+        }
+    }
+
+    #[test]
+    fn fifo_and_causal_self_deliver_immediately() {
+        let cfg = GroupConfig::default();
+        let now = SimTime::ZERO;
+        for d in [Discipline::Fifo, Discipline::Causal] {
+            let mut ep: Endpoint<u32> = Endpoint::new(d, 0, 3, cfg.clone());
+            let (dels, _) = ep.multicast(now, 7);
+            assert_eq!(dels.len(), 1, "{:?}", d);
+            assert_eq!(ep.stats().sent, 1);
+        }
+    }
+
+    #[test]
+    fn total_non_sequencer_defers_self_delivery() {
+        let mut ep: Endpoint<u32> =
+            Endpoint::new(Discipline::Total { sequencer: 0 }, 1, 3, GroupConfig::default());
+        let (dels, _) = ep.multicast(SimTime::ZERO, 7);
+        assert!(dels.is_empty());
+    }
+
+    #[test]
+    fn token_holder_passes_on_tick() {
+        let mut ep: Endpoint<u32> =
+            Endpoint::new(Discipline::TotalToken, 0, 2, GroupConfig::default());
+        let out = ep.on_tick(SimTime::ZERO);
+        assert!(out.iter().any(|(_, w)| matches!(w, Wire::Token { .. })));
+    }
+}

@@ -1,0 +1,147 @@
+//! Heartbeat failure detection.
+//!
+//! Each member multicasts a heartbeat every `interval`; a peer silent for
+//! `suspect_after` becomes *suspected*. The detector is deliberately
+//! simple (timeout-based, eventually-perfect under bounded delay) — the
+//! paper notes that "ordered failure notification can be provided without
+//! CATOCS and is useful as a stand-alone capability"; this module is that
+//! stand-alone capability, feeding the view-change machinery in
+//! [`crate::membership`].
+
+use simnet::time::{SimDuration, SimTime};
+
+/// Per-member liveness tracking for one observer.
+#[derive(Debug)]
+pub struct FailureDetector {
+    me: usize,
+    interval: SimDuration,
+    suspect_after: SimDuration,
+    last_heard: Vec<SimTime>,
+    suspected: Vec<bool>,
+    last_beat: SimTime,
+}
+
+impl FailureDetector {
+    /// Creates a detector for member `me` of a group of `n`.
+    pub fn new(me: usize, n: usize, interval: SimDuration, suspect_after: SimDuration) -> Self {
+        FailureDetector {
+            me,
+            interval,
+            suspect_after,
+            last_heard: vec![SimTime::ZERO; n],
+            suspected: vec![false; n],
+            last_beat: SimTime::ZERO,
+        }
+    }
+
+    /// The heartbeat interval.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// Records a heartbeat (or any traffic) from `who` at `now`.
+    pub fn heard_from(&mut self, who: usize, now: SimTime) {
+        if who < self.last_heard.len() {
+            self.last_heard[who] = now;
+            self.suspected[who] = false;
+        }
+    }
+
+    /// Whether it is time to emit our own heartbeat; updates internal
+    /// pacing state when it returns true.
+    pub fn should_beat(&mut self, now: SimTime) -> bool {
+        if now.saturating_since(self.last_beat) >= self.interval {
+            self.last_beat = now;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Re-evaluates suspicions; returns members newly suspected at `now`.
+    pub fn check(&mut self, now: SimTime) -> Vec<usize> {
+        let mut newly = Vec::new();
+        for k in 0..self.last_heard.len() {
+            if k == self.me || self.suspected[k] {
+                continue;
+            }
+            if now.saturating_since(self.last_heard[k]) >= self.suspect_after {
+                self.suspected[k] = true;
+                newly.push(k);
+            }
+        }
+        newly
+    }
+
+    /// Whether `who` is currently suspected.
+    pub fn is_suspected(&self, who: usize) -> bool {
+        self.suspected.get(who).copied().unwrap_or(false)
+    }
+
+    /// Members currently suspected.
+    pub fn suspects(&self) -> Vec<usize> {
+        (0..self.suspected.len())
+            .filter(|&k| self.suspected[k])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det() -> FailureDetector {
+        FailureDetector::new(
+            0,
+            3,
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(50),
+        )
+    }
+
+    #[test]
+    fn silence_leads_to_suspicion() {
+        let mut d = det();
+        d.heard_from(1, SimTime::from_millis(0));
+        d.heard_from(2, SimTime::from_millis(40));
+        let newly = d.check(SimTime::from_millis(60));
+        assert_eq!(newly, vec![1]);
+        assert!(d.is_suspected(1));
+        assert!(!d.is_suspected(2));
+    }
+
+    #[test]
+    fn hearing_again_clears_suspicion() {
+        let mut d = det();
+        d.check(SimTime::from_millis(100));
+        assert!(d.is_suspected(1));
+        d.heard_from(1, SimTime::from_millis(101));
+        assert!(!d.is_suspected(1));
+        assert_eq!(d.suspects(), vec![2]);
+    }
+
+    #[test]
+    fn never_suspects_self() {
+        let mut d = det();
+        let newly = d.check(SimTime::from_secs(10));
+        assert!(!newly.contains(&0));
+    }
+
+    #[test]
+    fn newly_reported_once() {
+        let mut d = det();
+        let first = d.check(SimTime::from_millis(100));
+        assert_eq!(first.len(), 2);
+        let second = d.check(SimTime::from_millis(200));
+        assert!(second.is_empty(), "already-suspected not re-reported");
+    }
+
+    #[test]
+    fn beat_pacing() {
+        let mut d = det();
+        assert!(d.should_beat(SimTime::from_millis(10)));
+        assert!(!d.should_beat(SimTime::from_millis(15)));
+        assert!(d.should_beat(SimTime::from_millis(20)));
+        assert_eq!(d.interval(), SimDuration::from_millis(10));
+    }
+}

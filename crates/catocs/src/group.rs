@@ -1,0 +1,166 @@
+//! Process groups, views, message identities and protocol configuration.
+
+use serde::{Deserialize, Serialize};
+use simnet::process::ProcessId;
+use simnet::time::SimDuration;
+use std::fmt;
+
+/// Identifies one multicast within a group: the `seq`-th message sent by
+/// group member `sender` (member index, not `ProcessId`).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct MsgId {
+    /// Member index of the sender within the group.
+    pub sender: usize,
+    /// 1-based per-sender sequence number (equals the sender's vector
+    /// clock component at send time for cbcast).
+    pub seq: u64,
+}
+
+impl fmt::Debug for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}.{}", self.sender, self.seq)
+    }
+}
+
+impl fmt::Display for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}.{}", self.sender, self.seq)
+    }
+}
+
+/// Identifies an installed membership view.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default, Debug,
+)]
+pub struct ViewId(pub u64);
+
+/// A membership view: the agreed set of group members.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct View {
+    /// Monotonically increasing view identifier.
+    pub id: ViewId,
+    /// Simulator process ids of the members, indexed by member index.
+    pub members: Vec<ProcessId>,
+}
+
+impl View {
+    /// The initial view over the given processes.
+    pub fn initial(members: Vec<ProcessId>) -> Self {
+        View {
+            id: ViewId(1),
+            members,
+        }
+    }
+
+    /// Group size.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the view has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Member index of `p`, if present.
+    pub fn index_of(&self, p: ProcessId) -> Option<usize> {
+        self.members.iter().position(|&m| m == p)
+    }
+
+    /// The successor view with `removed` excluded.
+    pub fn without(&self, removed: &[ProcessId]) -> View {
+        View {
+            id: ViewId(self.id.0 + 1),
+            members: self
+                .members
+                .iter()
+                .copied()
+                .filter(|m| !removed.contains(m))
+                .collect(),
+        }
+    }
+}
+
+/// Protocol tuning knobs shared by the multicast endpoints.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GroupConfig {
+    /// Nominal application payload size, bytes (for byte accounting).
+    pub payload_bytes: usize,
+    /// When true, delivered-clock acknowledgements ride on data messages;
+    /// when false they are sent as separate gossip on each tick. This is
+    /// the piggyback ablation of §5 ("there are fewer application messages
+    /// on which to piggyback acknowledgment information").
+    pub piggyback_acks: bool,
+    /// Interval between ack-gossip/retransmit-scan ticks.
+    pub tick_interval: SimDuration,
+    /// How long a missing message may be outstanding before (re-)NACKing.
+    pub nack_timeout: SimDuration,
+    /// Cap on MsgIds listed in a single NACK.
+    pub max_nack_batch: usize,
+    /// Piggyback unstable causal predecessors onto each data message
+    /// instead of relying on holdback + NACK recovery (§3.4 footnote 4).
+    /// Trades bandwidth for delivery delay.
+    pub append_predecessors: bool,
+    /// Cap on predecessors appended per message.
+    pub max_append: usize,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig {
+            payload_bytes: 256,
+            piggyback_acks: true,
+            tick_interval: SimDuration::from_millis(10),
+            nack_timeout: SimDuration::from_millis(20),
+            max_nack_batch: 64,
+            append_predecessors: false,
+            max_append: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msg_id_formats() {
+        let id = MsgId { sender: 2, seq: 7 };
+        assert_eq!(id.to_string(), "m2.7");
+        assert_eq!(format!("{id:?}"), "m2.7");
+    }
+
+    #[test]
+    fn msg_id_orders_by_sender_then_seq() {
+        let a = MsgId { sender: 0, seq: 9 };
+        let b = MsgId { sender: 1, seq: 1 };
+        assert!(a < b);
+    }
+
+    #[test]
+    fn view_membership() {
+        let v = View::initial(vec![ProcessId(3), ProcessId(5), ProcessId(9)]);
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+        assert_eq!(v.index_of(ProcessId(5)), Some(1));
+        assert_eq!(v.index_of(ProcessId(1)), None);
+    }
+
+    #[test]
+    fn view_without_removes_and_bumps_id() {
+        let v = View::initial(vec![ProcessId(0), ProcessId(1), ProcessId(2)]);
+        let v2 = v.without(&[ProcessId(1)]);
+        assert_eq!(v2.id, ViewId(2));
+        assert_eq!(v2.members, vec![ProcessId(0), ProcessId(2)]);
+    }
+
+    #[test]
+    fn default_config_sane() {
+        let c = GroupConfig::default();
+        assert!(c.piggyback_acks);
+        assert!(c.max_nack_batch > 0);
+        assert!(c.tick_interval < c.nack_timeout + c.tick_interval);
+    }
+}

@@ -1,0 +1,470 @@
+//! `simnet` glue: host a multicast endpoint and an application behaviour
+//! inside a simulated process.
+//!
+//! [`GroupNode`] wires a [`Endpoint`] to the simulator: it translates the
+//! endpoint's member-indexed [`Dest`]s into process sends, pumps the
+//! protocol tick, and forwards deliveries to a [`GroupApp`]. Most of the
+//! pure-group experiments (T5, T6, T7, T11) run on this harness; the
+//! application scenarios in the `apps` crate hand-roll their own processes
+//! because they mix group traffic with out-of-band channels (the whole
+//! point of the paper's hidden-channel critique).
+
+use crate::endpoint::{Discipline, Endpoint};
+use crate::group::GroupConfig;
+use crate::wire::{Delivery, Dest, EndpointStats, Out, Wire};
+use rand::rngs::SmallRng;
+use simnet::process::{Ctx, Process, ProcessId, TimerId};
+use simnet::time::{SimDuration, SimTime};
+
+/// Timer reserved for the protocol tick.
+const PROTO_TICK: TimerId = TimerId(0);
+/// Timer reserved for the application tick.
+const APP_TICK: TimerId = TimerId(1);
+
+/// What a [`GroupApp`] can do when called back.
+pub struct GroupCtx<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// This member's index.
+    pub me: usize,
+    /// Group size.
+    pub n: usize,
+    /// Deterministic randomness.
+    pub rng: &'a mut SmallRng,
+    stop: bool,
+}
+
+impl<'a> GroupCtx<'a> {
+    /// Requests simulation stop.
+    pub fn stop(&mut self) {
+        self.stop = true;
+    }
+}
+
+/// An application behaviour running on a group endpoint.
+///
+/// Methods return the payloads to multicast, which keeps the trait object
+/// simple and the data flow explicit.
+pub trait GroupApp<P>: 'static {
+    /// Called once at start; returns initial multicasts.
+    fn on_activate(&mut self, ctx: &mut GroupCtx<'_>) -> Vec<P> {
+        let _ = ctx;
+        Vec::new()
+    }
+
+    /// Called for every delivery; returns reactive multicasts.
+    fn on_deliver(&mut self, ctx: &mut GroupCtx<'_>, delivery: &Delivery<P>) -> Vec<P> {
+        let _ = (ctx, delivery);
+        Vec::new()
+    }
+
+    /// Called on the application tick; returns periodic multicasts.
+    fn on_tick(&mut self, ctx: &mut GroupCtx<'_>) -> Vec<P> {
+        let _ = ctx;
+        Vec::new()
+    }
+}
+
+/// A simulated process hosting one group member: endpoint + app.
+pub struct GroupNode<P, A> {
+    endpoint: Endpoint<P>,
+    app: A,
+    members: Vec<ProcessId>,
+    me: usize,
+    cfg: GroupConfig,
+    app_tick: Option<SimDuration>,
+    /// All deliveries seen, in order (experiments read this post-run).
+    pub delivered_log: Vec<Delivery<P>>,
+    /// Whether to retain the delivered log (off for big sweeps).
+    pub keep_log: bool,
+    /// Optional shared "active causal graph" instrumentation (§5): every
+    /// send adds a node/arcs; member 0 prunes at the stable frontier.
+    /// Shared via `Rc<RefCell<_>>` across the group's nodes — sound
+    /// because the simulator is single-threaded.
+    pub graph: Option<std::rc::Rc<std::cell::RefCell<crate::causal_graph::CausalGraph>>>,
+}
+
+impl<P: Clone + std::fmt::Debug + 'static, A: GroupApp<P>> GroupNode<P, A> {
+    /// Creates a node for member `me` (of `members`) with the given
+    /// discipline and app. `app_tick` is the period of the application
+    /// tick, if any.
+    pub fn new(
+        discipline: Discipline,
+        me: usize,
+        members: Vec<ProcessId>,
+        cfg: GroupConfig,
+        app: A,
+        app_tick: Option<SimDuration>,
+    ) -> Self {
+        let n = members.len();
+        GroupNode {
+            endpoint: Endpoint::new(discipline, me, n, cfg.clone()),
+            app,
+            members,
+            me,
+            cfg,
+            app_tick,
+            delivered_log: Vec::new(),
+            keep_log: true,
+            graph: None,
+        }
+    }
+
+    /// The endpoint's delivery statistics.
+    pub fn stats(&self) -> &EndpointStats {
+        self.endpoint.stats()
+    }
+
+    /// The endpoint's transport statistics.
+    pub fn transport_stats(&self) -> &EndpointStats {
+        self.endpoint.transport_stats()
+    }
+
+    /// The endpoint itself (for discipline-specific inspection).
+    pub fn endpoint(&self) -> &Endpoint<P> {
+        &self.endpoint
+    }
+
+    /// The hosted application.
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// The hosted application (mutable).
+    pub fn app_mut(&mut self) -> &mut A {
+        &mut self.app
+    }
+
+    fn route(&self, ctx: &mut Ctx<'_, Wire<P>>, out: Vec<Out<P>>) {
+        for (dest, wire) in out {
+            match dest {
+                Dest::All => {
+                    for (k, &pid) in self.members.iter().enumerate() {
+                        if k != self.me {
+                            ctx.send(pid, wire.clone());
+                        }
+                    }
+                }
+                Dest::One(k) => {
+                    if let Some(&pid) = self.members.get(k) {
+                        ctx.send(pid, wire.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    fn submit_all(&mut self, ctx: &mut Ctx<'_, Wire<P>>, payloads: Vec<P>) {
+        for p in payloads {
+            let (dels, out) = self.endpoint.multicast(ctx.now(), p);
+            if let (Some(graph), Some(vt)) = (&self.graph, self.endpoint.clock()) {
+                // The clock right after a causal multicast IS the
+                // message's timestamp.
+                let id = crate::group::MsgId {
+                    sender: self.me,
+                    seq: vt.get(self.me),
+                };
+                graph.borrow_mut().on_send(id, vt, self.members.len());
+            }
+            self.route(ctx, out);
+            self.handle_deliveries(ctx, dels);
+        }
+    }
+
+    fn handle_deliveries(&mut self, ctx: &mut Ctx<'_, Wire<P>>, dels: Vec<Delivery<P>>) {
+        for d in dels {
+            ctx.metrics().incr("group.delivered", 1);
+            if d.was_held() {
+                ctx.metrics().incr("group.delivered_held", 1);
+                ctx.metrics().observe("group.hold_time", d.hold_time());
+            }
+            let reactions = {
+                let mut gctx = GroupCtx {
+                    now: ctx.now(),
+                    me: self.me,
+                    n: self.members.len(),
+                    rng: ctx.rng(),
+                    stop: false,
+                };
+                let r = self.app.on_deliver(&mut gctx, &d);
+                if gctx.stop {
+                    ctx.stop();
+                }
+                r
+            };
+            if self.keep_log {
+                self.delivered_log.push(d);
+            }
+            self.submit_all(ctx, reactions);
+        }
+    }
+}
+
+impl<P: Clone + std::fmt::Debug + 'static, A: GroupApp<P>> Process<Wire<P>>
+    for GroupNode<P, A>
+{
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Wire<P>>) {
+        ctx.set_timer(PROTO_TICK, self.cfg.tick_interval);
+        if let Some(t) = self.app_tick {
+            ctx.set_timer(APP_TICK, t);
+        }
+        let initial = {
+            let mut gctx = GroupCtx {
+                now: ctx.now(),
+                me: self.me,
+                n: self.members.len(),
+                rng: ctx.rng(),
+                stop: false,
+            };
+            let r = self.app.on_activate(&mut gctx);
+            if gctx.stop {
+                ctx.stop();
+            }
+            r
+        };
+        self.submit_all(ctx, initial);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Wire<P>>, _from: ProcessId, msg: Wire<P>) {
+        let (dels, out) = self.endpoint.on_wire(ctx.now(), msg);
+        self.route(ctx, out);
+        self.handle_deliveries(ctx, dels);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Wire<P>>, timer: TimerId) {
+        match timer {
+            PROTO_TICK => {
+                let out = self.endpoint.on_tick(ctx.now());
+                self.route(ctx, out);
+                ctx.set_timer(PROTO_TICK, self.cfg.tick_interval);
+                ctx.metrics()
+                    .gauge_max("group.buffered_peak", self.endpoint.buffered_len() as f64);
+                if self.me == 0 {
+                    if let (Some(graph), Some(frontier)) =
+                        (&self.graph, self.endpoint.stable_frontier())
+                    {
+                        graph.borrow_mut().prune_stable(&frontier);
+                    }
+                }
+            }
+            APP_TICK => {
+                let payloads = {
+                    let mut gctx = GroupCtx {
+                        now: ctx.now(),
+                        me: self.me,
+                        n: self.members.len(),
+                        rng: ctx.rng(),
+                        stop: false,
+                    };
+                    let r = self.app.on_tick(&mut gctx);
+                    if gctx.stop {
+                        ctx.stop();
+                    }
+                    r
+                };
+                self.submit_all(ctx, payloads);
+                if let Some(t) = self.app_tick {
+                    ctx.set_timer(APP_TICK, t);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Builds a full group of [`GroupNode`]s in a fresh set of processes and
+/// returns their ids. All nodes share the discipline, config and an app
+/// produced per member by `make_app`.
+pub fn spawn_group<P, A, F>(
+    sim: &mut simnet::sim::Sim<Wire<P>>,
+    n: usize,
+    discipline: Discipline,
+    cfg: GroupConfig,
+    app_tick: Option<SimDuration>,
+    mut make_app: F,
+) -> Vec<ProcessId>
+where
+    P: Clone + std::fmt::Debug + 'static,
+    A: GroupApp<P>,
+    F: FnMut(usize) -> A,
+{
+    let base = sim.n_processes();
+    let members: Vec<ProcessId> = (0..n).map(|i| ProcessId(base + i)).collect();
+    for me in 0..n {
+        let node = GroupNode::new(
+            discipline,
+            me,
+            members.clone(),
+            cfg.clone(),
+            make_app(me),
+            app_tick,
+        );
+        sim.add_process(node);
+    }
+    members
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::net::NetConfig;
+    use simnet::sim::SimBuilder;
+
+    /// Each member multicasts `count` messages on its app tick, then goes
+    /// quiet. Used to smoke-test the harness end to end.
+    struct Chatter {
+        remaining: u32,
+        seen: Vec<(usize, u64)>,
+    }
+
+    impl GroupApp<u32> for Chatter {
+        fn on_tick(&mut self, ctx: &mut GroupCtx<'_>) -> Vec<u32> {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                vec![ctx.me as u32]
+            } else {
+                Vec::new()
+            }
+        }
+        fn on_deliver(&mut self, _ctx: &mut GroupCtx<'_>, d: &Delivery<u32>) -> Vec<u32> {
+            self.seen.push((d.id.sender, d.id.seq));
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn group_of_causal_nodes_delivers_everything() {
+        let mut sim = SimBuilder::new(7)
+            .net(NetConfig::lossy_lan(0.05))
+            .build::<Wire<u32>>();
+        let members = spawn_group(
+            &mut sim,
+            4,
+            Discipline::Causal,
+            GroupConfig::default(),
+            Some(SimDuration::from_millis(20)),
+            |_| Chatter {
+                remaining: 5,
+                seen: Vec::new(),
+            },
+        );
+        sim.run_until(SimTime::from_secs(5));
+        // 4 members × 5 messages; every member sees all 20.
+        for &m in &members {
+            let node = sim
+                .process::<GroupNode<u32, Chatter>>(m)
+                .expect("node present");
+            assert_eq!(node.app().seen.len(), 20, "member {m} missed messages");
+            assert_eq!(node.stats().delivered, 20);
+        }
+    }
+
+    #[test]
+    fn causal_order_holds_under_loss_and_reorder() {
+        let mut sim = SimBuilder::new(3)
+            .net(NetConfig::lossy_lan(0.1))
+            .build::<Wire<u32>>();
+        let members = spawn_group(
+            &mut sim,
+            3,
+            Discipline::Causal,
+            GroupConfig::default(),
+            Some(SimDuration::from_millis(15)),
+            |_| Chatter {
+                remaining: 10,
+                seen: Vec::new(),
+            },
+        );
+        sim.run_until(SimTime::from_secs(5));
+        // FIFO-per-sender is implied by causal: each member's view of each
+        // sender must be 1,2,3...
+        for &m in &members {
+            let node = sim.process::<GroupNode<u32, Chatter>>(m).unwrap();
+            let mut per_sender: std::collections::HashMap<usize, u64> = Default::default();
+            for &(s, q) in &node.app().seen {
+                let e = per_sender.entry(s).or_insert(0);
+                assert_eq!(q, *e + 1, "sender {s} out of order at {m}");
+                *e = q;
+            }
+        }
+    }
+
+    #[test]
+    fn total_order_identical_across_members() {
+        let mut sim = SimBuilder::new(11)
+            .net(NetConfig::lossy_lan(0.05))
+            .build::<Wire<u32>>();
+        let members = spawn_group(
+            &mut sim,
+            4,
+            Discipline::Total { sequencer: 0 },
+            GroupConfig::default(),
+            Some(SimDuration::from_millis(25)),
+            |_| Chatter {
+                remaining: 4,
+                seen: Vec::new(),
+            },
+        );
+        sim.run_until(SimTime::from_secs(5));
+        let mut sequences = Vec::new();
+        for &m in &members {
+            let node = sim.process::<GroupNode<u32, Chatter>>(m).unwrap();
+            sequences.push(node.app().seen.clone());
+        }
+        for s in &sequences[1..] {
+            assert_eq!(s, &sequences[0], "total order must be identical");
+        }
+        assert_eq!(sequences[0].len(), 16);
+    }
+
+    #[test]
+    fn fifo_group_delivers_per_sender_order() {
+        let mut sim = SimBuilder::new(5)
+            .net(NetConfig::lossy_lan(0.1))
+            .build::<Wire<u32>>();
+        let members = spawn_group(
+            &mut sim,
+            3,
+            Discipline::Fifo,
+            GroupConfig::default(),
+            Some(SimDuration::from_millis(10)),
+            |_| Chatter {
+                remaining: 8,
+                seen: Vec::new(),
+            },
+        );
+        sim.run_until(SimTime::from_secs(5));
+        for &m in &members {
+            let node = sim.process::<GroupNode<u32, Chatter>>(m).unwrap();
+            assert_eq!(node.app().seen.len(), 24);
+        }
+    }
+
+    #[test]
+    fn token_group_delivers_identically() {
+        let mut sim = SimBuilder::new(13)
+            .net(NetConfig::ideal(SimDuration::from_millis(1)))
+            .build::<Wire<u32>>();
+        let members = spawn_group(
+            &mut sim,
+            3,
+            Discipline::TotalToken,
+            GroupConfig::default(),
+            Some(SimDuration::from_millis(30)),
+            |_| Chatter {
+                remaining: 3,
+                seen: Vec::new(),
+            },
+        );
+        sim.run_until(SimTime::from_secs(5));
+        let mut sequences = Vec::new();
+        for &m in &members {
+            let node = sim.process::<GroupNode<u32, Chatter>>(m).unwrap();
+            sequences.push(node.app().seen.clone());
+        }
+        for s in &sequences[1..] {
+            assert_eq!(s, &sequences[0]);
+        }
+        assert_eq!(sequences[0].len(), 9);
+    }
+}

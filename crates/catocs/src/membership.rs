@@ -1,0 +1,337 @@
+//! View-synchronous membership with a flush protocol.
+//!
+//! When a member is suspected, the surviving coordinator (lowest live
+//! member index) proposes a new view. Every member then *flushes*: it
+//! stops sending new application messages (the paper's §4.4/§5 complaint:
+//! "Membership change protocols also suppress the sending of new messages
+//! during a significant portion of the protocol"), retransmits its
+//! unstable messages so every survivor has them, and acknowledges with a
+//! `FlushOk` carrying its delivered clock. When the coordinator has heard
+//! from every proposed member it installs the view, ending the blackout.
+//!
+//! Experiment T11 measures the two costs the paper predicts: flush
+//! message count (grows with group size and unstable-buffer depth) and
+//! blackout duration.
+//!
+//! Member identity note: inside this engine, `View.members` carries group
+//! *member indices* wrapped as `ProcessId` — the engine is transport
+//! agnostic, and the harness maps indices to simulator processes.
+
+use crate::group::View;
+use crate::wire::{Dest, Out, Wire};
+use clocks::vector::VectorClock;
+use serde::{Deserialize, Serialize};
+use simnet::process::ProcessId;
+use simnet::time::{SimDuration, SimTime};
+use std::collections::BTreeSet;
+
+/// What the caller must do after handing the engine an event.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FlushAction {
+    /// Nothing further.
+    None,
+    /// Retransmit all unstable buffered messages to the group; the
+    /// engine has already queued this member's `FlushOk`.
+    RetransmitUnstable,
+    /// A new view was installed (delivered as an ordered event).
+    ViewInstalled(View),
+}
+
+/// Cumulative membership statistics.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct MembershipStats {
+    /// Views installed (beyond the initial one).
+    pub view_changes: u64,
+    /// Flush-protocol messages sent by this member.
+    pub flush_msgs: u64,
+    /// Total time spent with sending suppressed.
+    pub blackout_total: SimDuration,
+    /// Duration of the most recent blackout.
+    pub last_blackout: SimDuration,
+}
+
+#[derive(Debug)]
+enum Phase {
+    Normal,
+    /// Flushing toward `proposed`; coordinator tracks acks.
+    Flushing {
+        proposed: View,
+        acks: BTreeSet<usize>,
+        since: SimTime,
+    },
+}
+
+/// The membership state machine for one member.
+#[derive(Debug)]
+pub struct MembershipEngine {
+    me: usize,
+    view: View,
+    phase: Phase,
+    stats: MembershipStats,
+}
+
+impl MembershipEngine {
+    /// Creates the engine for member `me` of an initial group of `n`.
+    pub fn new(me: usize, n: usize) -> Self {
+        MembershipEngine {
+            me,
+            view: View::initial((0..n).map(ProcessId).collect()),
+            phase: Phase::Normal,
+            stats: MembershipStats::default(),
+        }
+    }
+
+    /// The currently installed view.
+    pub fn view(&self) -> &View {
+        &self.view
+    }
+
+    /// Whether the member may send application multicasts right now.
+    pub fn can_send(&self) -> bool {
+        matches!(self.phase, Phase::Normal)
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> &MembershipStats {
+        &self.stats
+    }
+
+    /// The coordinator of a view: its lowest member index.
+    fn coordinator_of(view: &View) -> usize {
+        view.members.iter().map(|p| p.0).min().unwrap_or(0)
+    }
+
+    /// Whether this member coordinates the current (or proposed) view.
+    pub fn is_coordinator(&self) -> bool {
+        match &self.phase {
+            Phase::Normal => Self::coordinator_of(&self.view) == self.me,
+            Phase::Flushing { proposed, .. } => Self::coordinator_of(proposed) == self.me,
+        }
+    }
+
+    /// Reports that `dead` are suspected. If this member is the surviving
+    /// coordinator, it initiates the view change; otherwise nothing
+    /// happens (it waits for the coordinator's `Flush`).
+    pub fn suspect<P>(
+        &mut self,
+        now: SimTime,
+        dead: &[usize],
+    ) -> (FlushAction, Vec<Out<P>>) {
+        if !matches!(self.phase, Phase::Normal) {
+            return (FlushAction::None, Vec::new());
+        }
+        let dead_pids: Vec<ProcessId> = dead.iter().map(|&d| ProcessId(d)).collect();
+        let proposed = self.view.without(&dead_pids);
+        if proposed.members.len() == self.view.members.len() {
+            return (FlushAction::None, Vec::new());
+        }
+        if Self::coordinator_of(&proposed) != self.me {
+            return (FlushAction::None, Vec::new());
+        }
+        let mut acks = BTreeSet::new();
+        acks.insert(self.me);
+        let flush = Wire::Flush {
+            proposed: proposed.clone(),
+            from: self.me,
+        };
+        self.stats.flush_msgs += 1;
+        self.phase = Phase::Flushing {
+            proposed,
+            acks,
+            since: now,
+        };
+        (FlushAction::RetransmitUnstable, vec![(Dest::All, flush)])
+    }
+
+    /// Handles a membership wire message. `delivered` is this member's
+    /// current delivered clock (sent in `FlushOk`).
+    pub fn on_wire<P>(
+        &mut self,
+        now: SimTime,
+        wire: &Wire<P>,
+        delivered: &VectorClock,
+    ) -> (FlushAction, Vec<Out<P>>) {
+        match wire {
+            Wire::Flush { proposed, from } => {
+                if proposed.id.0 <= self.view.id.0 {
+                    return (FlushAction::None, Vec::new()); // stale
+                }
+                if !matches!(self.phase, Phase::Flushing { .. }) {
+                    self.phase = Phase::Flushing {
+                        proposed: proposed.clone(),
+                        acks: BTreeSet::new(),
+                        since: now,
+                    };
+                }
+                let ok = Wire::FlushOk {
+                    view_id: proposed.id,
+                    from: self.me,
+                    delivered: delivered.clone(),
+                };
+                self.stats.flush_msgs += 1;
+                (
+                    FlushAction::RetransmitUnstable,
+                    vec![(Dest::One(*from), ok)],
+                )
+            }
+            Wire::FlushOk { view_id, from, .. } => {
+                let install = match &mut self.phase {
+                    Phase::Flushing { proposed, acks, .. }
+                        if proposed.id == *view_id
+                            && Self::coordinator_of(proposed) == self.me =>
+                    {
+                        acks.insert(*from);
+                        let everyone = proposed
+                            .members
+                            .iter()
+                            .all(|m| acks.contains(&m.0));
+                        everyone.then(|| proposed.clone())
+                    }
+                    _ => None,
+                };
+                if let Some(view) = install {
+                    let msg = Wire::Install { view: view.clone() };
+                    self.stats.flush_msgs += 1;
+                    let action = self.install(now, view);
+                    (action, vec![(Dest::All, msg)])
+                } else {
+                    (FlushAction::None, Vec::new())
+                }
+            }
+            Wire::Install { view } => {
+                if view.id.0 <= self.view.id.0 {
+                    return (FlushAction::None, Vec::new());
+                }
+                let action = self.install(now, view.clone());
+                (action, Vec::new())
+            }
+            _ => (FlushAction::None, Vec::new()),
+        }
+    }
+
+    fn install(&mut self, now: SimTime, view: View) -> FlushAction {
+        if let Phase::Flushing { since, .. } = self.phase {
+            let blackout = now.saturating_since(since);
+            self.stats.blackout_total += blackout;
+            self.stats.last_blackout = blackout;
+        }
+        self.view = view.clone();
+        self.phase = Phase::Normal;
+        self.stats.view_changes += 1;
+        FlushAction::ViewInstalled(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::ViewId;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn vc(n: usize) -> VectorClock {
+        VectorClock::new(n)
+    }
+
+    #[test]
+    fn coordinator_initiates_on_suspicion() {
+        let mut m0 = MembershipEngine::new(0, 3);
+        assert!(m0.can_send());
+        let (action, out) = m0.suspect::<()>(t(0), &[2]);
+        assert_eq!(action, FlushAction::RetransmitUnstable);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].1, Wire::Flush { .. }));
+        assert!(!m0.can_send(), "blackout during flush");
+        assert!(m0.is_coordinator());
+    }
+
+    #[test]
+    fn non_coordinator_waits() {
+        let mut m1 = MembershipEngine::new(1, 3);
+        let (action, out) = m1.suspect::<()>(t(0), &[2]);
+        assert_eq!(action, FlushAction::None);
+        assert!(out.is_empty());
+        assert!(m1.can_send());
+    }
+
+    #[test]
+    fn full_view_change_roundtrip() {
+        let mut m0 = MembershipEngine::new(0, 3);
+        let mut m1 = MembershipEngine::new(1, 3);
+        // Member 2 dies; coordinator 0 flushes.
+        let (_, out) = m0.suspect::<()>(t(0), &[2]);
+        let flush = out[0].1.clone();
+        // m1 receives Flush, retransmits unstable, FlushOks.
+        let (a1, out1) = m1.on_wire(t(1), &flush, &vc(3));
+        assert_eq!(a1, FlushAction::RetransmitUnstable);
+        assert!(!m1.can_send());
+        let flush_ok = out1[0].1.clone();
+        assert_eq!(out1[0].0, Dest::One(0));
+        // Coordinator collects; with m0 (implicit) + m1 that is everyone.
+        let (a0, out0) = m0.on_wire(t(5), &flush_ok, &vc(3));
+        match a0 {
+            FlushAction::ViewInstalled(v) => {
+                assert_eq!(v.id, ViewId(2));
+                assert_eq!(v.members.len(), 2);
+            }
+            other => panic!("expected install, got {other:?}"),
+        }
+        let install = out0[0].1.clone();
+        // m1 installs too.
+        let (a1, _) = m1.on_wire(t(6), &install, &vc(3));
+        assert!(matches!(a1, FlushAction::ViewInstalled(_)));
+        assert!(m0.can_send() && m1.can_send());
+        assert_eq!(m0.stats().view_changes, 1);
+        assert_eq!(m1.stats().last_blackout, SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn stale_flush_ignored() {
+        let mut m = MembershipEngine::new(1, 3);
+        let stale = Wire::<()>::Flush {
+            proposed: View {
+                id: ViewId(1), // not newer than current
+                members: vec![ProcessId(0), ProcessId(1)],
+            },
+            from: 0,
+        };
+        let (a, out) = m.on_wire(t(0), &stale, &vc(3));
+        assert_eq!(a, FlushAction::None);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn duplicate_install_ignored() {
+        let mut m = MembershipEngine::new(1, 3);
+        let v2 = View {
+            id: ViewId(2),
+            members: vec![ProcessId(0), ProcessId(1)],
+        };
+        let install = Wire::<()>::Install { view: v2.clone() };
+        let (a, _) = m.on_wire(t(0), &install, &vc(3));
+        assert!(matches!(a, FlushAction::ViewInstalled(_)));
+        let (a, _) = m.on_wire(t(1), &install, &vc(3));
+        assert_eq!(a, FlushAction::None);
+        assert_eq!(m.stats().view_changes, 1);
+    }
+
+    #[test]
+    fn suspicion_of_unknown_member_is_noop() {
+        let mut m0 = MembershipEngine::new(0, 3);
+        let (a, out) = m0.suspect::<()>(t(0), &[9]);
+        assert_eq!(a, FlushAction::None);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn coordinator_death_promotes_next() {
+        // Member 0 dies; member 1 becomes coordinator of the proposal.
+        let mut m1 = MembershipEngine::new(1, 3);
+        let (a, out) = m1.suspect::<()>(t(0), &[0]);
+        assert_eq!(a, FlushAction::RetransmitUnstable);
+        assert!(!out.is_empty());
+        assert!(m1.is_coordinator());
+    }
+}

@@ -1,0 +1,110 @@
+//! Message-stability tracking: who is known to have delivered what.
+//!
+//! A message is *stable* when every group member is known to have
+//! delivered it; only then may its buffered copy be discarded. This module
+//! wraps a [`MatrixClock`] with the accounting experiment T5 reads: how
+//! much delivery knowledge a node carries (the matrix itself is `N×N`) and
+//! where the group-wide stability frontier sits.
+
+use clocks::matrix::MatrixClock;
+use clocks::vector::VectorClock;
+use serde::{Deserialize, Serialize};
+
+/// Per-endpoint stability knowledge.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StabilityTracker {
+    matrix: MatrixClock,
+    n: usize,
+}
+
+impl StabilityTracker {
+    /// Creates a tracker for a group of `n`.
+    pub fn new(n: usize) -> Self {
+        StabilityTracker {
+            matrix: MatrixClock::new(n),
+            n,
+        }
+    }
+
+    /// Group size.
+    pub fn group_size(&self) -> usize {
+        self.n
+    }
+
+    /// Records that `who` delivered the `seq`-th message from `sender`
+    /// (used for the local process's own deliveries).
+    pub fn record_local_delivery(&mut self, who: usize, sender: usize, seq: u64) {
+        self.matrix.record_delivery(who, sender, seq);
+    }
+
+    /// Incorporates a peer's advertised delivered clock.
+    pub fn update_row(&mut self, who: usize, delivered: &VectorClock) {
+        self.matrix.update_row(who, delivered);
+    }
+
+    /// The group-wide stability frontier: component `s` is the highest
+    /// seq from sender `s` known delivered everywhere.
+    pub fn stable_frontier(&self) -> VectorClock {
+        self.matrix.stable_frontier()
+    }
+
+    /// Whether `(sender, seq)` is known stable.
+    pub fn is_stable(&self, sender: usize, seq: u64) -> bool {
+        self.matrix.is_stable(sender, seq)
+    }
+
+    /// How many members are known to have delivered `(sender, seq)` —
+    /// the quantity a Deceit-style write-safety level compares against.
+    pub fn ack_count(&self, sender: usize, seq: u64) -> usize {
+        (0..self.n)
+            .filter(|&i| self.knows_delivered(i, sender, seq))
+            .count()
+    }
+
+    /// Whether member `who` is known to have delivered `(sender, seq)`.
+    pub fn knows_delivered(&self, who: usize, sender: usize, seq: u64) -> bool {
+        self.matrix.own_row(who).get(sender) >= seq
+    }
+
+    /// Bytes of delivery-knowledge state carried by this node (§5's
+    /// communication-state cost; grows as `N²`).
+    pub fn state_bytes(&self) -> usize {
+        self.matrix.encoded_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_advances_with_knowledge() {
+        let mut s = StabilityTracker::new(3);
+        s.record_local_delivery(0, 0, 2);
+        assert_eq!(s.stable_frontier().get(0), 0);
+        s.update_row(1, &VectorClock::from_entries(vec![2, 0, 0]));
+        s.update_row(2, &VectorClock::from_entries(vec![2, 0, 0]));
+        assert_eq!(s.stable_frontier().get(0), 2);
+        assert!(s.is_stable(0, 2));
+        assert!(!s.is_stable(0, 3));
+    }
+
+    #[test]
+    fn ack_count_counts_members() {
+        let mut s = StabilityTracker::new(4);
+        s.record_local_delivery(0, 0, 1);
+        assert_eq!(s.ack_count(0, 1), 1);
+        s.update_row(2, &VectorClock::from_entries(vec![1, 0, 0, 0]));
+        assert_eq!(s.ack_count(0, 1), 2);
+        assert!(s.knows_delivered(2, 0, 1));
+        assert!(!s.knows_delivered(3, 0, 1));
+    }
+
+    #[test]
+    fn state_bytes_quadratic() {
+        let s8 = StabilityTracker::new(8).state_bytes();
+        let s16 = StabilityTracker::new(16).state_bytes();
+        assert!(s16 > 3 * s8);
+        assert_eq!(StabilityTracker::new(4).group_size(), 4);
+    }
+}

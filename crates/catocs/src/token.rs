@@ -1,0 +1,432 @@
+//! Token-ring totally ordered multicast — the ablation partner of the
+//! fixed-sequencer [`crate::abcast`] design.
+//!
+//! A single token circulates around the members in index order. A member
+//! may only multicast while holding the token; it stamps each message with
+//! the token's global sequence counter directly, so the total order is
+//! established at the sender with no separate Order message. Submissions
+//! made without the token queue locally until the token arrives.
+//!
+//! Trade-offs versus the sequencer (measured by the `ablate` experiment):
+//! sending latency depends on the token rotation time (bad at low load,
+//! scales with N), but ordering adds no extra hop and the sequencer
+//! hotspot disappears.
+
+use crate::group::{GroupConfig, MsgId};
+use crate::wire::{DataMsg, Delivery, Dest, EndpointStats, Out, Wire};
+use clocks::vector::VectorClock;
+use simnet::time::SimTime;
+use std::collections::{BTreeMap, VecDeque};
+
+/// The token-ring total-order endpoint for one member.
+#[derive(Debug)]
+pub struct TokenAbcastEndpoint<P> {
+    me: usize,
+    n: usize,
+    cfg: GroupConfig,
+    /// Whether we currently hold the token.
+    holding: bool,
+    /// The token's global sequence counter while held.
+    token_gseq: u64,
+    token_hops: u64,
+    /// Payloads submitted while not holding the token.
+    pending_submit: VecDeque<(P, SimTime)>,
+    /// Received (or self-sent) data by global sequence.
+    by_gseq: BTreeMap<u64, (DataMsg<P>, SimTime)>,
+    /// Next global sequence to deliver.
+    next_deliver: u64,
+    /// Per-sender send counter (message identity).
+    next_seq: u64,
+    /// Last NACK time for a delivery gap.
+    last_nack: Option<SimTime>,
+    /// Highest token hop count seen (dedupes retransmitted tokens).
+    last_token_hops: u64,
+    /// A token pass awaiting acknowledgement: (receiver, gseq, hops,
+    /// last send time). Retransmitted until `TokenAck` arrives — a lost
+    /// token halts the entire total order.
+    unacked_pass: Option<(usize, u64, u64, SimTime)>,
+    stats: EndpointStats,
+    /// Buffer of own sent messages for retransmission, keyed by gseq.
+    sent: BTreeMap<u64, DataMsg<P>>,
+}
+
+impl<P: Clone> TokenAbcastEndpoint<P> {
+    /// Creates the endpoint; member 0 starts holding the token with the
+    /// counter at 0.
+    pub fn new(me: usize, n: usize, cfg: GroupConfig) -> Self {
+        assert!(me < n, "member index out of range");
+        TokenAbcastEndpoint {
+            me,
+            n,
+            cfg,
+            holding: me == 0,
+            token_gseq: 0,
+            token_hops: 0,
+            pending_submit: VecDeque::new(),
+            by_gseq: BTreeMap::new(),
+            next_deliver: 0,
+            next_seq: 0,
+            last_nack: None,
+            last_token_hops: 0,
+            unacked_pass: None,
+            stats: EndpointStats::default(),
+            sent: BTreeMap::new(),
+        }
+    }
+
+    /// This member's index.
+    pub fn me(&self) -> usize {
+        self.me
+    }
+
+    /// Whether this member currently holds the token.
+    pub fn holding_token(&self) -> bool {
+        self.holding
+    }
+
+    /// Endpoint statistics.
+    pub fn stats(&self) -> &EndpointStats {
+        &self.stats
+    }
+
+    /// Submissions waiting for the token.
+    pub fn queued_len(&self) -> usize {
+        self.pending_submit.len()
+    }
+
+    /// Submits `payload` for totally ordered multicast. If the token is
+    /// held, the message goes out (and may deliver) immediately;
+    /// otherwise it queues until the token arrives.
+    pub fn submit(&mut self, now: SimTime, payload: P) -> (Vec<Delivery<P>>, Vec<Out<P>>) {
+        self.pending_submit.push_back((payload, now));
+        if self.holding {
+            self.drain_submissions(now)
+        } else {
+            (Vec::new(), Vec::new())
+        }
+    }
+
+    /// Passes the token to the next member in ring order. Call after
+    /// draining submissions (typically from the tick handler). The pass
+    /// is retransmitted from [`Self::on_tick`] until acknowledged.
+    pub fn pass_token(&mut self) -> Option<Out<P>> {
+        if !self.holding {
+            return None;
+        }
+        self.holding = false;
+        let next = (self.me + 1) % self.n;
+        let hops = self.token_hops + 1;
+        let w = Wire::Token {
+            next_gseq: self.token_gseq,
+            hops,
+        };
+        self.stats.control_bytes += w.overhead_bytes() as u64;
+        self.unacked_pass = Some((next, self.token_gseq, hops, SimTime::ZERO));
+        Some((Dest::One(next), w))
+    }
+
+    /// Handles an incoming wire message.
+    pub fn on_wire(&mut self, now: SimTime, wire: Wire<P>) -> (Vec<Delivery<P>>, Vec<Out<P>>) {
+        match wire {
+            Wire::Token { next_gseq, hops } => {
+                // Always acknowledge — the passer retransmits until then.
+                let ack = (Dest::One((self.me + self.n - 1) % self.n), Wire::TokenAck { hops });
+                if hops <= self.last_token_hops {
+                    // A duplicate of a token we already consumed.
+                    self.stats.duplicates += 1;
+                    return (Vec::new(), vec![ack]);
+                }
+                self.last_token_hops = hops;
+                self.holding = true;
+                self.token_gseq = next_gseq;
+                self.token_hops = hops;
+                let (dels, mut out) = self.drain_submissions(now);
+                out.push(ack);
+                (dels, out)
+            }
+            Wire::TokenAck { hops } => {
+                if let Some((_, _, h, _)) = self.unacked_pass {
+                    if hops == h {
+                        self.unacked_pass = None;
+                    }
+                }
+                (Vec::new(), Vec::new())
+            }
+            Wire::Data(msg) => {
+                self.stats.data_received += 1;
+                // The vt slot carries the global sequence in component 0
+                // (by construction in drain_submissions).
+                let gseq = msg.vt.get(0);
+                if gseq < self.next_deliver + 1 && self.by_gseq.contains_key(&gseq)
+                    || gseq <= self.next_deliver
+                {
+                    self.stats.duplicates += 1;
+                    return (Vec::new(), Vec::new());
+                }
+                self.by_gseq.entry(gseq).or_insert((msg, now));
+                let dels = self.release(now);
+                (dels, Vec::new())
+            }
+            Wire::Nack { from, want } => {
+                let mut out = Vec::new();
+                for id in want {
+                    // `seq` in the NACK names the global sequence here.
+                    if let Some(m) = self.sent.get(&id.seq) {
+                        let mut copy = m.clone();
+                        copy.retransmit = true;
+                        self.stats.retransmits_served += 1;
+                        out.push((Dest::One(from), Wire::Data(copy)));
+                    }
+                }
+                (Vec::new(), out)
+            }
+            _ => (Vec::new(), Vec::new()),
+        }
+    }
+
+    /// Periodic maintenance: NACK delivery gaps (to everyone — any member
+    /// may have the missing message buffered).
+    pub fn on_tick(&mut self, now: SimTime) -> Vec<Out<P>> {
+        let mut out = Vec::new();
+        // Retransmit an unacknowledged token pass.
+        if let Some((next, gseq, hops, last_sent)) = self.unacked_pass {
+            if now.saturating_since(last_sent) >= self.cfg.nack_timeout {
+                let w = Wire::Token {
+                    next_gseq: gseq,
+                    hops,
+                };
+                self.stats.control_bytes += w.overhead_bytes() as u64;
+                self.stats.retransmits_served += 1;
+                self.unacked_pass = Some((next, gseq, hops, now));
+                out.push((Dest::One(next), w));
+            }
+        }
+        if let Some((&max_known, _)) = self.by_gseq.iter().next_back() {
+            let overdue = match self.last_nack {
+                None => true,
+                Some(t) => now.saturating_since(t) >= self.cfg.nack_timeout,
+            };
+            let want: Vec<MsgId> = ((self.next_deliver + 1)..max_known)
+                .filter(|g| !self.by_gseq.contains_key(g))
+                .take(self.cfg.max_nack_batch)
+                .map(|g| MsgId { sender: 0, seq: g })
+                .collect();
+            if overdue && !want.is_empty() {
+                self.last_nack = Some(now);
+                let w = Wire::Nack {
+                    from: self.me,
+                    want,
+                };
+                self.stats.nacks_sent += 1;
+                self.stats.control_bytes += w.overhead_bytes() as u64;
+                out.push((Dest::All, w));
+            }
+        }
+        out
+    }
+
+    fn drain_submissions(&mut self, now: SimTime) -> (Vec<Delivery<P>>, Vec<Out<P>>) {
+        let mut out = Vec::new();
+        while let Some((payload, submitted)) = self.pending_submit.pop_front() {
+            self.token_gseq += 1;
+            self.next_seq += 1;
+            let gseq = self.token_gseq;
+            let mut vt = VectorClock::new(self.n.max(1));
+            vt.set(0, gseq);
+            let msg = DataMsg {
+                id: MsgId {
+                    sender: self.me,
+                    seq: self.next_seq,
+                },
+                vt,
+                payload,
+                retransmit: false,
+                appended: Vec::new(),
+            };
+            self.sent.insert(gseq, msg.clone());
+            // Own messages are timed from submission, so the release hold
+            // time includes the wait for the token rotation.
+            self.by_gseq.insert(gseq, (msg.clone(), submitted));
+            self.stats.sent += 1;
+            let w = Wire::Data(msg);
+            self.stats.data_overhead_bytes += w.overhead_bytes() as u64;
+            out.push((Dest::All, w));
+        }
+        let dels = self.release(now);
+        (dels, out)
+    }
+
+    fn release(&mut self, now: SimTime) -> Vec<Delivery<P>> {
+        let mut dels = Vec::new();
+        while let Some((msg, arrived)) = self.by_gseq.remove(&(self.next_deliver + 1)) {
+            self.next_deliver += 1;
+            let held = arrived < now;
+            self.stats.delivered += 1;
+            if held {
+                self.stats.delivered_after_hold += 1;
+                self.stats.hold_time_total += now.saturating_since(arrived);
+            }
+            dels.push(Delivery {
+                id: msg.id,
+                payload: msg.payload,
+                arrived_at: arrived,
+                delivered_at: now,
+                gseq: Some(self.next_deliver),
+                waited_for: Vec::new(),
+            });
+        }
+        self.stats.note_holdback(self.by_gseq.len() as u64);
+        dels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn holder_sends_and_delivers_immediately() {
+        let mut a = TokenAbcastEndpoint::new(0, 3, GroupConfig::default());
+        assert!(a.holding_token());
+        let (dels, out) = a.submit(t(0), "x");
+        assert_eq!(dels.len(), 1);
+        assert_eq!(dels[0].gseq, Some(1));
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn non_holder_queues_until_token() {
+        let mut b = TokenAbcastEndpoint::new(1, 3, GroupConfig::default());
+        let (dels, out) = b.submit(t(0), "y");
+        assert!(dels.is_empty() && out.is_empty());
+        assert_eq!(b.queued_len(), 1);
+        let (dels, out) = b.on_wire(
+            t(5),
+            Wire::Token {
+                next_gseq: 0,
+                hops: 1,
+            },
+        );
+        assert_eq!(dels.len(), 1);
+        assert!(!out.is_empty());
+        assert_eq!(b.queued_len(), 0);
+    }
+
+    #[test]
+    fn global_order_consistent_across_members() {
+        let cfg = GroupConfig::default();
+        let mut a = TokenAbcastEndpoint::new(0, 2, cfg.clone());
+        let mut b = TokenAbcastEndpoint::new(1, 2, cfg);
+        let (_, oa) = a.submit(t(0), "a1");
+        let tok = a.pass_token().unwrap();
+        let (_, ob_pre) = b.submit(t(1), "b1");
+        assert!(ob_pre.is_empty());
+        let (_, ob) = b.on_wire(t(2), tok.1);
+        // Deliver cross traffic.
+        fn deliver<'p>(
+            ep: &mut TokenAbcastEndpoint<&'p str>,
+            outs: &[Out<&'p str>],
+            at: SimTime,
+        ) -> Vec<Delivery<&'p str>> {
+            let mut got = Vec::new();
+            for (_, w) in outs {
+                if matches!(w, Wire::Data(_)) {
+                    let (d, _) = ep.on_wire(at, w.clone());
+                    got.extend(d);
+                }
+            }
+            got
+        }
+        let db = deliver(&mut b, &oa, t(3));
+        let da = deliver(&mut a, &ob, t(3));
+        assert_eq!(db[0].gseq, Some(1));
+        assert_eq!(da[0].gseq, Some(2));
+        assert_eq!(db[0].payload, "a1");
+        assert_eq!(da[0].payload, "b1");
+    }
+
+    #[test]
+    fn gap_nack_and_retransmit() {
+        let cfg = GroupConfig::default();
+        let mut a = TokenAbcastEndpoint::new(0, 2, cfg.clone());
+        let mut b = TokenAbcastEndpoint::new(1, 2, cfg.clone());
+        let (_, o1) = a.submit(t(0), "m1");
+        let (_, o2) = a.submit(t(1), "m2");
+        // b misses m1.
+        let (dels, _) = b.on_wire(t(2), o2[0].1.clone());
+        assert!(dels.is_empty());
+        let nacks = b.on_tick(t(2) + cfg.nack_timeout);
+        let nack = nacks
+            .into_iter()
+            .find(|(_, w)| matches!(w, Wire::Nack { .. }))
+            .expect("gap nack");
+        let (_, served) = a.on_wire(t(3), nack.1);
+        assert_eq!(served.len(), 1);
+        let (dels, _) = b.on_wire(t(4), served[0].1.clone());
+        assert_eq!(
+            dels.iter().map(|d| d.payload).collect::<Vec<_>>(),
+            vec!["m1", "m2"]
+        );
+        let _ = o1;
+    }
+
+    #[test]
+    fn lost_token_is_retransmitted() {
+        let cfg = GroupConfig::default();
+        let mut a = TokenAbcastEndpoint::<u32>::new(0, 2, cfg.clone());
+        let pass = a.pass_token().expect("pass");
+        // The pass is lost; a tick after the timeout retransmits it.
+        let out = a.on_tick(SimTime::ZERO + cfg.nack_timeout);
+        assert!(
+            out.iter().any(|(_, w)| matches!(w, Wire::Token { .. })),
+            "token retransmitted"
+        );
+        // The receiver finally gets it and acks; the ack clears the
+        // retransmission state.
+        let mut b = TokenAbcastEndpoint::<u32>::new(1, 2, cfg.clone());
+        let (_, outs) = b.on_wire(SimTime::from_millis(50), pass.1);
+        let ack = outs
+            .into_iter()
+            .find(|(_, w)| matches!(w, Wire::TokenAck { .. }))
+            .expect("ack sent");
+        a.on_wire(SimTime::from_millis(51), ack.1);
+        let out = a.on_tick(SimTime::from_millis(51) + cfg.nack_timeout);
+        assert!(
+            !out.iter().any(|(_, w)| matches!(w, Wire::Token { .. })),
+            "no retransmission after ack"
+        );
+    }
+
+    #[test]
+    fn duplicate_token_is_ignored_but_acked() {
+        let cfg = GroupConfig::default();
+        let mut b = TokenAbcastEndpoint::<u32>::new(1, 2, cfg);
+        let tok = Wire::Token {
+            next_gseq: 0,
+            hops: 1,
+        };
+        let (_, o1) = b.on_wire(SimTime::from_millis(1), tok.clone());
+        assert!(o1.iter().any(|(_, w)| matches!(w, Wire::TokenAck { .. })));
+        assert!(b.holding_token());
+        // Retransmitted duplicate: acked again, not re-consumed.
+        let _ = b.pass_token();
+        let (_, o2) = b.on_wire(SimTime::from_millis(2), tok);
+        assert!(o2.iter().any(|(_, w)| matches!(w, Wire::TokenAck { .. })));
+        assert!(!b.holding_token(), "duplicate must not re-grant the token");
+    }
+
+    #[test]
+    fn token_hops_count() {
+        let mut a = TokenAbcastEndpoint::<u32>::new(0, 2, GroupConfig::default());
+        let tok = a.pass_token().unwrap();
+        match tok.1 {
+            Wire::Token { hops, .. } => assert_eq!(hops, 1),
+            _ => panic!("expected token"),
+        }
+        assert!(a.pass_token().is_none(), "cannot pass twice");
+    }
+}

@@ -1,0 +1,309 @@
+//! The unified wire protocol shared by all multicast disciplines, plus the
+//! delivery record handed to applications and the per-endpoint statistics
+//! the experiments read.
+
+use crate::group::{MsgId, View, ViewId};
+use clocks::vector::VectorClock;
+use serde::{Deserialize, Serialize};
+use simnet::time::{SimDuration, SimTime};
+
+/// A data multicast as it appears on the wire.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct DataMsg<P> {
+    /// Identity: (sender member index, per-sender sequence).
+    pub id: MsgId,
+    /// The sender's vector time at send (cbcast/abcast); for fbcast only
+    /// the sender's own component is meaningful.
+    pub vt: VectorClock,
+    /// Application payload.
+    pub payload: P,
+    /// True when this copy is a retransmission.
+    pub retransmit: bool,
+    /// Causal predecessors piggybacked onto this message — the paper's
+    /// §3.4 footnote 4 alternative to holdback delay: "causal protocols
+    /// can append earlier 'causal' messages to later dependent messages,
+    /// but this technique can significantly increase network traffic."
+    /// Empty unless `GroupConfig::append_predecessors` is on.
+    pub appended: Vec<DataMsg<P>>,
+}
+
+impl<P: std::fmt::Debug> std::fmt::Debug for DataMsg<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Compact: event diagrams want the payload front and centre.
+        write!(
+            f,
+            "{}{}{} {:?}",
+            self.id,
+            if self.retransmit { "*" } else { "" },
+            if self.appended.is_empty() {
+                String::new()
+            } else {
+                format!("+{}", self.appended.len())
+            },
+            self.payload
+        )
+    }
+}
+
+/// Every message any CATOCS protocol in this crate puts on the network.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Wire<P> {
+    /// Application data (all disciplines).
+    Data(DataMsg<P>),
+    /// Delivered-clock gossip for stability tracking and gap detection.
+    AckGossip { from: usize, delivered: VectorClock },
+    /// Request retransmission of specific messages.
+    Nack { from: usize, want: Vec<MsgId> },
+    /// Sequencer's total-order assignment: global sequence `gseq` is `id`.
+    Order { gseq: u64, id: MsgId },
+    /// Request retransmission of order assignments (abcast).
+    OrderNack { from: usize, from_gseq: u64, to_gseq: u64 },
+    /// The rotating token of the token-ring abcast variant.
+    Token { next_gseq: u64, hops: u64 },
+    /// Acknowledges receipt of the token (token passing must be
+    /// reliable: a lost token halts the total order).
+    TokenAck { hops: u64 },
+    /// Membership: coordinator proposes a new view; members must flush.
+    Flush { proposed: View, from: usize },
+    /// Membership: member has flushed its unstable messages for `view_id`.
+    FlushOk {
+        view_id: ViewId,
+        from: usize,
+        delivered: VectorClock,
+    },
+    /// Membership: coordinator installs the new view.
+    Install { view: View },
+    /// Liveness probe for the failure detector.
+    Heartbeat { from: usize },
+}
+
+impl<P> Wire<P> {
+    /// Simulated size in bytes of this message's *protocol overhead*
+    /// (headers, clocks, control payloads) — the per-message cost the
+    /// paper's §3.4 points at. Application payload bytes are accounted
+    /// separately via [`crate::group::GroupConfig::payload_bytes`].
+    pub fn overhead_bytes(&self) -> usize {
+        const MSG_ID: usize = 12; // u32 sender + u64 seq
+        match self {
+            Wire::Data(d) => {
+                let own = MSG_ID + d.vt.encode().len() + 1;
+                let appended: usize = d
+                    .appended
+                    .iter()
+                    .map(|a| MSG_ID + a.vt.encode().len() + 1)
+                    .sum();
+                own + appended
+            }
+            Wire::AckGossip { delivered, .. } => 4 + delivered.encode().len(),
+            Wire::Nack { want, .. } => 4 + MSG_ID * want.len(),
+            Wire::Order { .. } => 8 + MSG_ID,
+            Wire::OrderNack { .. } => 4 + 16,
+            Wire::Token { .. } => 16,
+            Wire::TokenAck { .. } => 8,
+            Wire::Flush { proposed, .. } => 12 + 8 * proposed.members.len(),
+            Wire::FlushOk { delivered, .. } => 12 + delivered.encode().len(),
+            Wire::Install { view } => 8 + 8 * view.members.len(),
+            Wire::Heartbeat { .. } => 4,
+        }
+    }
+
+    /// Whether this is a control (non-data) message.
+    pub fn is_control(&self) -> bool {
+        !matches!(self, Wire::Data(_))
+    }
+}
+
+/// Where an outbound wire message should go (member indices).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dest {
+    /// Every group member except the sender.
+    All,
+    /// One specific member.
+    One(usize),
+}
+
+/// An outbound message from an endpoint: destination plus wire payload.
+pub type Out<P> = (Dest, Wire<P>);
+
+/// A message delivered to the application, with the timing metadata the
+/// false-causality experiment (T6) needs.
+#[derive(Clone, Debug)]
+pub struct Delivery<P> {
+    /// Which multicast this is.
+    pub id: MsgId,
+    /// The payload.
+    pub payload: P,
+    /// When the message physically arrived at this endpoint.
+    pub arrived_at: SimTime,
+    /// When the ordering protocol released it to the application.
+    pub delivered_at: SimTime,
+    /// Global sequence number (total-order disciplines only).
+    pub gseq: Option<u64>,
+    /// Messages this delivery was held waiting for (empty if delivered on
+    /// arrival). These are *potential-causality* waits; whether they were
+    /// semantically necessary is an application-level question — the crux
+    /// of the paper's "false causality" critique.
+    pub waited_for: Vec<MsgId>,
+}
+
+impl<P> Delivery<P> {
+    /// How long the ordering protocol held this message after arrival.
+    pub fn hold_time(&self) -> SimDuration {
+        self.delivered_at.saturating_since(self.arrived_at)
+    }
+
+    /// Whether the message was held at all.
+    pub fn was_held(&self) -> bool {
+        self.delivered_at > self.arrived_at
+    }
+}
+
+/// Running statistics for one endpoint. All counters are cumulative for
+/// the life of the endpoint.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct EndpointStats {
+    /// Multicasts submitted locally.
+    pub sent: u64,
+    /// Data messages received (including duplicates/retransmits).
+    pub data_received: u64,
+    /// Messages delivered to the application.
+    pub delivered: u64,
+    /// Deliveries that were held in the holdback queue.
+    pub delivered_after_hold: u64,
+    /// Total time messages spent held (sum over held deliveries).
+    pub hold_time_total: SimDuration,
+    /// Duplicates discarded.
+    pub duplicates: u64,
+    /// NACKs sent.
+    pub nacks_sent: u64,
+    /// Retransmissions served from the buffer.
+    pub retransmits_served: u64,
+    /// Ack-gossip messages sent.
+    pub acks_sent: u64,
+    /// Control bytes sent (everything but payloads).
+    pub control_bytes: u64,
+    /// Data overhead bytes sent (headers + clocks on data).
+    pub data_overhead_bytes: u64,
+    /// Current number of buffered (unstable) messages.
+    pub buffered_now: u64,
+    /// Current buffered bytes (payload + overhead).
+    pub buffered_bytes_now: u64,
+    /// High-water mark of buffered messages.
+    pub buffered_peak: u64,
+    /// High-water mark of buffered bytes.
+    pub buffered_bytes_peak: u64,
+    /// Current holdback-queue length.
+    pub holdback_now: u64,
+    /// High-water mark of the holdback queue.
+    pub holdback_peak: u64,
+    /// Messages garbage-collected as stable.
+    pub stabilized: u64,
+}
+
+impl EndpointStats {
+    /// Mean hold time over held deliveries.
+    pub fn mean_hold(&self) -> SimDuration {
+        if self.delivered_after_hold == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_micros(
+                self.hold_time_total.as_micros() / self.delivered_after_hold,
+            )
+        }
+    }
+
+    /// Fraction of deliveries that were held, in `[0,1]`.
+    pub fn held_fraction(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.delivered_after_hold as f64 / self.delivered as f64
+        }
+    }
+
+    pub(crate) fn note_buffer(&mut self, msgs: u64, bytes: u64) {
+        self.buffered_now = msgs;
+        self.buffered_bytes_now = bytes;
+        self.buffered_peak = self.buffered_peak.max(msgs);
+        self.buffered_bytes_peak = self.buffered_bytes_peak.max(bytes);
+    }
+
+    pub(crate) fn note_holdback(&mut self, len: u64) {
+        self.holdback_now = len;
+        self.holdback_peak = self.holdback_peak.max(len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_scales_with_group_size() {
+        let small = Wire::Data(DataMsg {
+            id: MsgId { sender: 0, seq: 1 },
+            vt: VectorClock::new(4),
+            payload: (),
+            retransmit: false,
+            appended: Vec::new(),
+        })
+        .overhead_bytes();
+        let large = Wire::Data(DataMsg {
+            id: MsgId { sender: 0, seq: 1 },
+            vt: VectorClock::new(64),
+            payload: (),
+            retransmit: false,
+            appended: Vec::new(),
+        })
+        .overhead_bytes();
+        assert!(large > small);
+        assert_eq!(large - small, 8 * 60); // 60 extra u64 components
+    }
+
+    #[test]
+    fn control_classification() {
+        let data: Wire<()> = Wire::Data(DataMsg {
+            id: MsgId { sender: 0, seq: 1 },
+            vt: VectorClock::new(2),
+            payload: (),
+            retransmit: false,
+            appended: Vec::new(),
+        });
+        assert!(!data.is_control());
+        let hb: Wire<()> = Wire::Heartbeat { from: 0 };
+        assert!(hb.is_control());
+    }
+
+    #[test]
+    fn delivery_hold_time() {
+        let d = Delivery {
+            id: MsgId { sender: 1, seq: 1 },
+            payload: (),
+            arrived_at: SimTime::from_millis(5),
+            delivered_at: SimTime::from_millis(9),
+            gseq: None,
+            waited_for: vec![MsgId { sender: 0, seq: 3 }],
+        };
+        assert_eq!(d.hold_time(), SimDuration::from_millis(4));
+        assert!(d.was_held());
+    }
+
+    #[test]
+    fn stats_aggregation() {
+        let mut s = EndpointStats::default();
+        assert_eq!(s.mean_hold(), SimDuration::ZERO);
+        assert_eq!(s.held_fraction(), 0.0);
+        s.delivered = 10;
+        s.delivered_after_hold = 5;
+        s.hold_time_total = SimDuration::from_millis(50);
+        assert_eq!(s.mean_hold(), SimDuration::from_millis(10));
+        assert_eq!(s.held_fraction(), 0.5);
+        s.note_buffer(7, 700);
+        s.note_buffer(3, 300);
+        assert_eq!(s.buffered_now, 3);
+        assert_eq!(s.buffered_peak, 7);
+        s.note_holdback(9);
+        s.note_holdback(2);
+        assert_eq!(s.holdback_peak, 9);
+    }
+}

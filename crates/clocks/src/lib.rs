@@ -1,0 +1,32 @@
+//! # clocks — logical and physical clock substrate
+//!
+//! Every ordering mechanism discussed in the paper is built from a clock:
+//!
+//! - [`lamport`] — Lamport's scalar logical clocks \[Lamport '78\], the
+//!   origin of the happens-before relation CATOCS enforces.
+//! - [`vector`] — vector clocks, the timestamp carried by the ISIS-style
+//!   causal multicast (`cbcast`) implemented in the `catocs` crate. Also
+//!   provides the delta-compressed encoding used in the T7 overhead
+//!   ablation.
+//! - [`matrix`] — matrix clocks, which let a process compute which
+//!   messages are *stable* (delivered everywhere) — the buffering
+//!   garbage-collection problem of the paper's §5.
+//! - [`realtime`] — a simulated synchronized real-time clock with bounded
+//!   skew, the paper's preferred ordering device for real-time systems
+//!   (§4.6: "a timestamp can have a granularity in the microsecond range
+//!   and an accuracy to less than one millisecond").
+//! - [`versions`] — state-level version clocks: per-object version
+//!   numbers and dependency stamps, the paper's "clock ticks on the
+//!   state" (§6) used by every state-level alternative.
+
+pub mod lamport;
+pub mod matrix;
+pub mod realtime;
+pub mod vector;
+pub mod versions;
+
+pub use lamport::LamportClock;
+pub use matrix::MatrixClock;
+pub use realtime::SyncClock;
+pub use vector::{ClockOrd, VectorClock};
+pub use versions::{DependencyStamp, ObjectId, Version, VersionedTag};

@@ -1,0 +1,192 @@
+//! Matrix clocks: each process's knowledge of every other process's
+//! vector clock.
+//!
+//! Row `i` of the matrix at process `p` is `p`'s best knowledge of what
+//! process `i` has delivered. The column-wise minimum therefore bounds
+//! what *everyone* is known to have delivered — exactly the stability
+//! ("delivered everywhere") test that CATOCS implementations use to
+//! garbage-collect their message buffers. Section 5 of the paper argues
+//! that this state is itself a scaling problem: the matrix is `N×N`, and
+//! stale rows keep messages buffered. Experiment T5 measures both.
+
+use crate::vector::VectorClock;
+use serde::{Deserialize, Serialize};
+
+/// An `n × n` matrix clock for a group of `n` processes.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatrixClock {
+    n: usize,
+    /// `rows[i]` = best-known vector clock of process `i`'s deliveries.
+    rows: Vec<VectorClock>,
+}
+
+impl MatrixClock {
+    /// A zero matrix for `n` processes.
+    pub fn new(n: usize) -> Self {
+        MatrixClock {
+            n,
+            rows: vec![VectorClock::new(n); n],
+        }
+    }
+
+    /// Group size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the group is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// This process's own row (its delivered clock).
+    pub fn own_row(&self, me: usize) -> &VectorClock {
+        &self.rows[me]
+    }
+
+    /// Records that `me` delivered the `seq`-th message from `sender`.
+    pub fn record_delivery(&mut self, me: usize, sender: usize, seq: u64) {
+        if self.rows[me].get(sender) < seq {
+            self.rows[me].set(sender, seq);
+        }
+    }
+
+    /// Incorporates a gossiped row: process `who` reports its delivered
+    /// clock `row`.
+    pub fn update_row(&mut self, who: usize, row: &VectorClock) {
+        self.rows[who].merge(row);
+    }
+
+    /// Incorporates an entire matrix received from a peer.
+    pub fn merge(&mut self, other: &MatrixClock) {
+        for i in 0..self.n.min(other.n) {
+            self.rows[i].merge(&other.rows[i]);
+        }
+    }
+
+    /// The stability frontier: component `s` is the highest sequence
+    /// number `k` such that *every* process is known to have delivered
+    /// messages `1..=k` from sender `s`. Messages at or below the frontier
+    /// may be garbage-collected.
+    pub fn stable_frontier(&self) -> VectorClock {
+        let mut frontier = VectorClock::new(self.n);
+        for s in 0..self.n {
+            let min = (0..self.n)
+                .map(|i| self.rows[i].get(s))
+                .min()
+                .unwrap_or(0);
+            frontier.set(s, min);
+        }
+        frontier
+    }
+
+    /// Whether the `seq`-th message from `sender` is stable (known
+    /// delivered everywhere).
+    pub fn is_stable(&self, sender: usize, seq: u64) -> bool {
+        (0..self.n).all(|i| self.rows[i].get(sender) >= seq)
+    }
+
+    /// Bytes needed to ship this matrix (the §5 gossip overhead).
+    pub fn encoded_len(&self) -> usize {
+        4 + self.n * (4 + 8 * self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fresh_matrix_has_zero_frontier() {
+        let m = MatrixClock::new(3);
+        assert_eq!(m.stable_frontier(), VectorClock::new(3));
+        assert!(!m.is_empty());
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn stability_requires_everyone() {
+        let mut m = MatrixClock::new(3);
+        // P0 and P1 delivered msg 1 from sender 0; P2 has not.
+        m.record_delivery(0, 0, 1);
+        m.record_delivery(1, 0, 1);
+        assert!(!m.is_stable(0, 1));
+        m.record_delivery(2, 0, 1);
+        assert!(m.is_stable(0, 1));
+        assert_eq!(m.stable_frontier().get(0), 1);
+    }
+
+    #[test]
+    fn record_delivery_is_monotone() {
+        let mut m = MatrixClock::new(2);
+        m.record_delivery(0, 1, 5);
+        m.record_delivery(0, 1, 3); // late, lower — ignored
+        assert_eq!(m.own_row(0).get(1), 5);
+    }
+
+    #[test]
+    fn merge_spreads_knowledge() {
+        let mut a = MatrixClock::new(2);
+        let mut b = MatrixClock::new(2);
+        a.record_delivery(0, 1, 4);
+        b.record_delivery(1, 0, 7);
+        a.merge(&b);
+        assert_eq!(a.own_row(1).get(0), 7);
+        assert_eq!(a.own_row(0).get(1), 4);
+    }
+
+    #[test]
+    fn update_row_merges() {
+        let mut m = MatrixClock::new(3);
+        m.update_row(2, &VectorClock::from_entries(vec![1, 2, 3]));
+        assert_eq!(m.own_row(2).get(2), 3);
+    }
+
+    #[test]
+    fn encoded_len_is_quadratic() {
+        let m4 = MatrixClock::new(4).encoded_len();
+        let m8 = MatrixClock::new(8).encoded_len();
+        let m16 = MatrixClock::new(16).encoded_len();
+        // Doubling n should roughly quadruple the size.
+        assert!(m8 > 3 * m4 && m8 < 5 * m4, "m4={m4} m8={m8}");
+        assert!(m16 > 3 * m8 && m16 < 5 * m8);
+    }
+
+    proptest! {
+        /// The stable frontier never exceeds any process's row.
+        #[test]
+        fn frontier_is_lower_bound(
+            deliveries in proptest::collection::vec((0usize..4, 0usize..4, 1u64..20), 0..50)
+        ) {
+            let mut m = MatrixClock::new(4);
+            for (me, sender, seq) in deliveries {
+                m.record_delivery(me, sender, seq);
+            }
+            let f = m.stable_frontier();
+            for i in 0..4 {
+                for s in 0..4 {
+                    prop_assert!(f.get(s) <= m.own_row(i).get(s));
+                }
+            }
+        }
+
+        /// Merging never lowers the frontier.
+        #[test]
+        fn merge_monotone(
+            d1 in proptest::collection::vec((0usize..3, 0usize..3, 1u64..10), 0..30),
+            d2 in proptest::collection::vec((0usize..3, 0usize..3, 1u64..10), 0..30)
+        ) {
+            let mut a = MatrixClock::new(3);
+            for (me, s, q) in d1 { a.record_delivery(me, s, q); }
+            let mut b = MatrixClock::new(3);
+            for (me, s, q) in d2 { b.record_delivery(me, s, q); }
+            let before = a.stable_frontier();
+            a.merge(&b);
+            let after = a.stable_frontier();
+            for s in 0..3 {
+                prop_assert!(after.get(s) >= before.get(s));
+            }
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! Vector clocks: the timestamp CATOCS causal multicast rides on.
+//!
+//! A vector clock over `n` processes characterizes happens-before exactly:
+//! `VT(a) < VT(b)` iff event `a` causally precedes event `b`. The
+//! `catocs::cbcast` protocol stamps every multicast with the sender's
+//! vector time and delays delivery until the causal predecessors have been
+//! delivered (the ISIS "lightweight causal multicast" rule).
+//!
+//! The paper's §3.4/§5 overhead argument is partly about these timestamps:
+//! they grow linearly with group size and ride on *every* message. The
+//! [`VectorClock::encode`]/[`VectorClock::encode_delta`] pair exists so
+//! experiment T7 can measure exactly that growth, including the standard
+//! delta-compression mitigation.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Result of comparing two vector clocks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClockOrd {
+    /// Strictly causally before.
+    Before,
+    /// Strictly causally after.
+    After,
+    /// Identical.
+    Equal,
+    /// Neither precedes the other — the paper's "concurrent" messages.
+    Concurrent,
+}
+
+/// A dense vector clock over processes `0..n`.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VectorClock {
+    entries: Vec<u64>,
+}
+
+impl VectorClock {
+    /// A zero clock for `n` processes.
+    pub fn new(n: usize) -> Self {
+        VectorClock {
+            entries: vec![0; n],
+        }
+    }
+
+    /// Builds a clock directly from entries (tests and decoding).
+    pub fn from_entries(entries: Vec<u64>) -> Self {
+        VectorClock { entries }
+    }
+
+    /// Number of processes the clock covers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the clock covers zero processes.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The component for process `i`.
+    pub fn get(&self, i: usize) -> u64 {
+        self.entries.get(i).copied().unwrap_or(0)
+    }
+
+    /// Sets the component for process `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set(&mut self, i: usize, v: u64) {
+        self.entries[i] = v;
+    }
+
+    /// Increments own component `i` (send/local event rule) and returns
+    /// the new value.
+    pub fn tick(&mut self, i: usize) -> u64 {
+        self.entries[i] += 1;
+        self.entries[i]
+    }
+
+    /// Component-wise maximum (receive rule).
+    pub fn merge(&mut self, other: &VectorClock) {
+        if other.entries.len() > self.entries.len() {
+            self.entries.resize(other.entries.len(), 0);
+        }
+        for (i, &v) in other.entries.iter().enumerate() {
+            if v > self.entries[i] {
+                self.entries[i] = v;
+            }
+        }
+    }
+
+    /// Compares two clocks under the causal partial order.
+    pub fn compare(&self, other: &VectorClock) -> ClockOrd {
+        let n = self.entries.len().max(other.entries.len());
+        let mut less = false;
+        let mut greater = false;
+        for i in 0..n {
+            match self.get(i).cmp(&other.get(i)) {
+                Ordering::Less => less = true,
+                Ordering::Greater => greater = true,
+                Ordering::Equal => {}
+            }
+        }
+        match (less, greater) {
+            (false, false) => ClockOrd::Equal,
+            (true, false) => ClockOrd::Before,
+            (false, true) => ClockOrd::After,
+            (true, true) => ClockOrd::Concurrent,
+        }
+    }
+
+    /// `self` happens-before `other` (strictly).
+    pub fn happens_before(&self, other: &VectorClock) -> bool {
+        self.compare(other) == ClockOrd::Before
+    }
+
+    /// `self` and `other` are concurrent.
+    pub fn concurrent_with(&self, other: &VectorClock) -> bool {
+        self.compare(other) == ClockOrd::Concurrent
+    }
+
+    /// The ISIS cbcast deliverability test: a message stamped `msg_vt`
+    /// from `sender` is deliverable at a process whose delivered-clock is
+    /// `self` iff
+    ///
+    /// 1. `msg_vt[sender] == self[sender] + 1` (next message from sender),
+    /// 2. `msg_vt[k] <= self[k]` for all `k != sender` (all causal
+    ///    predecessors from other processes already delivered).
+    pub fn deliverable(&self, msg_vt: &VectorClock, sender: usize) -> bool {
+        if msg_vt.get(sender) != self.get(sender) + 1 {
+            return false;
+        }
+        let n = self.entries.len().max(msg_vt.entries.len());
+        for k in 0..n {
+            if k != sender && msg_vt.get(k) > self.get(k) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Full binary encoding: `n` little-endian `u64`s plus a 4-byte count.
+    /// This is the per-message ordering overhead measured by T7.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + 8 * self.entries.len());
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        for &e in &self.entries {
+            out.extend_from_slice(&e.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a full encoding.
+    ///
+    /// Returns `None` on malformed input.
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        if buf.len() < 4 {
+            return None;
+        }
+        let n = u32::from_le_bytes(buf[0..4].try_into().ok()?) as usize;
+        if buf.len() != 4 + 8 * n {
+            return None;
+        }
+        let mut entries = Vec::with_capacity(n);
+        for i in 0..n {
+            let s = 4 + 8 * i;
+            entries.push(u64::from_le_bytes(buf[s..s + 8].try_into().ok()?));
+        }
+        Some(VectorClock { entries })
+    }
+
+    /// Delta encoding relative to `base`: only changed components are sent
+    /// as `(u32 index, u64 value)` pairs. This is the ablation in T7 —
+    /// cheaper when few components change between consecutive messages,
+    /// degrading to worse-than-full under all-to-all traffic.
+    pub fn encode_delta(&self, base: &VectorClock) -> Vec<u8> {
+        let mut pairs = Vec::new();
+        let n = self.entries.len().max(base.entries.len());
+        for i in 0..n {
+            if self.get(i) != base.get(i) {
+                pairs.push((i as u32, self.get(i)));
+            }
+        }
+        let mut out = Vec::with_capacity(8 + 12 * pairs.len());
+        out.extend_from_slice(&(self.entries.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+        for (i, v) in pairs {
+            out.extend_from_slice(&i.to_le_bytes());
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a delta encoding against `base`.
+    ///
+    /// Returns `None` on malformed input.
+    pub fn decode_delta(buf: &[u8], base: &VectorClock) -> Option<Self> {
+        if buf.len() < 8 {
+            return None;
+        }
+        let n = u32::from_le_bytes(buf[0..4].try_into().ok()?) as usize;
+        let k = u32::from_le_bytes(buf[4..8].try_into().ok()?) as usize;
+        if buf.len() != 8 + 12 * k {
+            return None;
+        }
+        let mut clock = base.clone();
+        clock.entries.resize(n, 0);
+        for j in 0..k {
+            let s = 8 + 12 * j;
+            let i = u32::from_le_bytes(buf[s..s + 4].try_into().ok()?) as usize;
+            let v = u64::from_le_bytes(buf[s + 4..s + 12].try_into().ok()?);
+            if i >= n {
+                return None;
+            }
+            clock.entries[i] = v;
+        }
+        Some(clock)
+    }
+
+    /// Sum of all components — a crude size of the causal past, used by
+    /// the false-causality metrics.
+    pub fn total_events(&self) -> u64 {
+        self.entries.iter().sum()
+    }
+}
+
+impl fmt::Debug for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VT{:?}", self.entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn vc(e: &[u64]) -> VectorClock {
+        VectorClock::from_entries(e.to_vec())
+    }
+
+    #[test]
+    fn compare_basic() {
+        assert_eq!(vc(&[1, 0]).compare(&vc(&[1, 0])), ClockOrd::Equal);
+        assert_eq!(vc(&[1, 0]).compare(&vc(&[1, 1])), ClockOrd::Before);
+        assert_eq!(vc(&[2, 1]).compare(&vc(&[1, 1])), ClockOrd::After);
+        assert_eq!(vc(&[1, 0]).compare(&vc(&[0, 1])), ClockOrd::Concurrent);
+    }
+
+    #[test]
+    fn merge_takes_componentwise_max() {
+        let mut a = vc(&[1, 5, 0]);
+        a.merge(&vc(&[3, 2, 0]));
+        assert_eq!(a, vc(&[3, 5, 0]));
+    }
+
+    #[test]
+    fn merge_handles_length_mismatch() {
+        let mut a = vc(&[1]);
+        a.merge(&vc(&[0, 7]));
+        assert_eq!(a, vc(&[1, 7]));
+    }
+
+    #[test]
+    fn deliverability_next_from_sender() {
+        // Delivered state: seen 2 msgs from P0, 1 from P1.
+        let state = vc(&[2, 1, 0]);
+        // Next message from P0 is deliverable.
+        assert!(state.deliverable(&vc(&[3, 1, 0]), 0));
+        // A gap from the sender is not.
+        assert!(!state.deliverable(&vc(&[4, 1, 0]), 0));
+        // A causal dependency on an undelivered message is not.
+        assert!(!state.deliverable(&vc(&[3, 2, 0]), 0));
+        // A redelivery (old message) is not.
+        assert!(!state.deliverable(&vc(&[2, 1, 0]), 0));
+    }
+
+    #[test]
+    fn encode_roundtrip() {
+        let c = vc(&[1, 2, 3, u64::MAX]);
+        assert_eq!(VectorClock::decode(&c.encode()), Some(c.clone()));
+        assert_eq!(c.encode().len(), 4 + 8 * 4);
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert_eq!(VectorClock::decode(&[]), None);
+        assert_eq!(VectorClock::decode(&[9, 0, 0, 0]), None);
+        let mut good = vc(&[1, 2]).encode();
+        good.pop();
+        assert_eq!(VectorClock::decode(&good), None);
+    }
+
+    #[test]
+    fn delta_roundtrip_and_size() {
+        let base = vc(&[5, 5, 5, 5, 5, 5, 5, 5]);
+        let mut next = base.clone();
+        next.tick(3);
+        let delta = next.encode_delta(&base);
+        assert_eq!(VectorClock::decode_delta(&delta, &base), Some(next.clone()));
+        // One changed component: 8 header + 12 payload, vs 4 + 64 full.
+        assert_eq!(delta.len(), 20);
+        assert!(delta.len() < next.encode().len());
+    }
+
+    #[test]
+    fn delta_decode_rejects_malformed() {
+        let base = vc(&[1, 2]);
+        assert_eq!(VectorClock::decode_delta(&[], &base), None);
+        let mut d = vc(&[1, 3]).encode_delta(&base);
+        d.push(0);
+        assert_eq!(VectorClock::decode_delta(&d, &base), None);
+    }
+
+    #[test]
+    fn helpers() {
+        assert!(vc(&[0, 1]).happens_before(&vc(&[1, 1])));
+        assert!(vc(&[1, 0]).concurrent_with(&vc(&[0, 1])));
+        assert_eq!(vc(&[2, 3]).total_events(), 5);
+        assert!(!vc(&[1]).is_empty());
+        assert!(VectorClock::new(0).is_empty());
+    }
+
+    fn arb_clock(n: usize) -> impl Strategy<Value = VectorClock> {
+        proptest::collection::vec(0u64..50, n).prop_map(VectorClock::from_entries)
+    }
+
+    proptest! {
+        /// Antisymmetry: a < b implies !(b < a).
+        #[test]
+        fn partial_order_antisymmetric(a in arb_clock(6), b in arb_clock(6)) {
+            if a.happens_before(&b) {
+                prop_assert!(!b.happens_before(&a));
+                prop_assert_eq!(b.compare(&a), ClockOrd::After);
+            }
+        }
+
+        /// Transitivity: a < b and b < c implies a < c.
+        #[test]
+        fn partial_order_transitive(a in arb_clock(5), b in arb_clock(5), c in arb_clock(5)) {
+            if a.happens_before(&b) && b.happens_before(&c) {
+                prop_assert!(a.happens_before(&c));
+            }
+        }
+
+        /// Merge is an upper bound of both operands.
+        #[test]
+        fn merge_is_upper_bound(a in arb_clock(6), b in arb_clock(6)) {
+            let mut m = a.clone();
+            m.merge(&b);
+            prop_assert!(matches!(a.compare(&m), ClockOrd::Before | ClockOrd::Equal));
+            prop_assert!(matches!(b.compare(&m), ClockOrd::Before | ClockOrd::Equal));
+        }
+
+        /// Merge is commutative and idempotent.
+        #[test]
+        fn merge_lattice_laws(a in arb_clock(6), b in arb_clock(6)) {
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            prop_assert_eq!(&ab, &ba);
+            let mut aa = a.clone();
+            aa.merge(&a);
+            prop_assert_eq!(aa, a);
+        }
+
+        /// Full encoding roundtrips for any clock.
+        #[test]
+        fn encode_roundtrip_prop(a in arb_clock(10)) {
+            prop_assert_eq!(VectorClock::decode(&a.encode()), Some(a));
+        }
+
+        /// Delta encoding roundtrips against any base of equal length.
+        #[test]
+        fn delta_roundtrip_prop(a in arb_clock(10), b in arb_clock(10)) {
+            let d = a.encode_delta(&b);
+            prop_assert_eq!(VectorClock::decode_delta(&d, &b), Some(a));
+        }
+
+        /// Comparison is consistent with per-component dominance.
+        #[test]
+        fn compare_matches_dominance(a in arb_clock(6), b in arb_clock(6)) {
+            let all_le = (0..6).all(|i| a.get(i) <= b.get(i));
+            let all_ge = (0..6).all(|i| a.get(i) >= b.get(i));
+            let expected = match (all_le, all_ge) {
+                (true, true) => ClockOrd::Equal,
+                (true, false) => ClockOrd::Before,
+                (false, true) => ClockOrd::After,
+                (false, false) => ClockOrd::Concurrent,
+            };
+            prop_assert_eq!(a.compare(&b), expected);
+        }
+    }
+}

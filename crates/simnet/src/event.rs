@@ -1,0 +1,165 @@
+//! The event queue at the heart of the discrete-event scheduler.
+//!
+//! Events are ordered by `(time, seq)` where `seq` is a monotonically
+//! increasing insertion number. The sequence number makes the simulation
+//! fully deterministic: two events scheduled for the same instant always
+//! pop in the order they were pushed, independent of heap internals.
+
+use crate::process::{ProcessId, TimerId};
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled occurrence inside the simulator.
+#[derive(Debug)]
+pub enum EventKind<M> {
+    /// Start of a process: `on_start` is invoked.
+    Start { proc: ProcessId },
+    /// A message arrives on the wire at `to`.
+    Deliver {
+        to: ProcessId,
+        from: ProcessId,
+        msg: M,
+        sent_at: SimTime,
+    },
+    /// A timer set by `proc` fires.
+    Timer { proc: ProcessId, timer: TimerId },
+    /// The process crashes (stops receiving anything).
+    Crash { proc: ProcessId },
+    /// The process recovers and `on_recover` is invoked.
+    Recover { proc: ProcessId },
+    /// Two network blocks separate (bidirectional partition).
+    PartitionStart { a: Vec<ProcessId>, b: Vec<ProcessId> },
+    /// All partitions heal.
+    PartitionHeal,
+}
+
+/// An event with its scheduled time and tie-breaking sequence number.
+#[derive(Debug)]
+pub struct Event<M> {
+    pub at: SimTime,
+    pub seq: u64,
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Event<M> {}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-priority queue of simulation events.
+#[derive(Debug)]
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Event<M>>,
+    next_seq: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `kind` at absolute time `at`.
+    pub fn push(&mut self, at: SimTime, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, kind });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop()
+    }
+
+    /// Returns the time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(proc: usize) -> EventKind<()> {
+        EventKind::Timer {
+            proc: ProcessId(proc),
+            timer: TimerId(0),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(30), timer(3));
+        q.push(SimTime::from_micros(10), timer(1));
+        q.push(SimTime::from_micros(20), timer(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.as_micros()).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn same_time_pops_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime::from_micros(5), timer(i));
+        }
+        let seqs: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+        let sorted = {
+            let mut s = seqs.clone();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(seqs, sorted, "ties must break by insertion order");
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(7), timer(0));
+        q.push(SimTime::from_micros(3), timer(1));
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(3)));
+        assert_eq!(q.pop().unwrap().at, SimTime::from_micros(3));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,228 @@
+//! Lightweight metrics: named counters, gauges and latency histograms.
+//!
+//! The experiment harness reads these after a run to produce the tables in
+//! EXPERIMENTS.md. Everything is plain in-memory state — no atomics are
+//! needed because the simulator is single-threaded.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A fixed-bucket log-scale histogram of durations (microseconds).
+///
+/// Buckets are powers of two from 1us up to ~2^40us, which comfortably
+/// spans sub-microsecond protocol steps to multi-hour waits.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_us: u128,
+    min_us: u64,
+    max_us: u64,
+}
+
+const HISTOGRAM_BUCKETS: usize = 41;
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum_us: 0,
+            min_us: u64::MAX,
+            max_us: 0,
+        }
+    }
+
+    /// Records one duration observation.
+    pub fn record(&mut self, d: SimDuration) {
+        let us = d.as_micros();
+        let idx = (64 - us.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; HISTOGRAM_BUCKETS];
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_us += us as u128;
+        self.min_us = self.min_us.min(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean observation, or zero if empty.
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_micros((self.sum_us / self.count as u128) as u64)
+        }
+    }
+
+    /// Minimum observation, or zero if empty.
+    pub fn min(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_micros(self.min_us)
+        }
+    }
+
+    /// Maximum observation.
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_micros(self.max_us)
+    }
+
+    /// Approximate quantile (bucket upper bound), `q` in `[0,1]`.
+    pub fn quantile(&self, q: f64) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        let target = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                let upper = if i == 0 { 1 } else { 1u64 << i };
+                return SimDuration::from_micros(upper.min(self.max_us.max(1)));
+            }
+        }
+        self.max()
+    }
+}
+
+/// The metrics sink owned by a simulation run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to the named counter.
+    pub fn incr(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Reads a counter (zero if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets the named gauge to `v`.
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Sets the named gauge to `max(current, v)`.
+    pub fn gauge_max(&mut self, name: &str, v: f64) {
+        let e = self.gauges.entry(name.to_string()).or_insert(f64::MIN);
+        if v > *e {
+            *e = v;
+        }
+    }
+
+    /// Reads a gauge (zero if never written).
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Records a duration in the named histogram.
+    pub fn observe(&mut self, name: &str, d: SimDuration) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(Histogram::new)
+            .record(d);
+    }
+
+    /// Reads a histogram, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, for reports.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All gauges, for reports.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.incr("x", 2);
+        m.incr("x", 3);
+        assert_eq!(m.counter("x"), 5);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_set_and_max() {
+        let mut m = Metrics::new();
+        m.set_gauge("g", 1.5);
+        assert_eq!(m.gauge("g"), 1.5);
+        m.gauge_max("g", 0.5);
+        assert_eq!(m.gauge("g"), 1.5);
+        m.gauge_max("g", 2.5);
+        assert_eq!(m.gauge("g"), 2.5);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::new();
+        for ms in [1u64, 2, 4, 8] {
+            h.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), SimDuration::from_millis(1));
+        assert_eq!(h.max(), SimDuration::from_millis(8));
+        let mean = h.mean().as_micros();
+        assert_eq!(mean, (1000 + 2000 + 4000 + 8000) / 4);
+    }
+
+    #[test]
+    fn histogram_quantiles_monotone() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(SimDuration::from_micros(i));
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p99);
+        assert!(p99 <= h.max());
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.quantile(0.9), SimDuration::ZERO);
+        assert_eq!(h.min(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn metrics_observe_roundtrip() {
+        let mut m = Metrics::new();
+        m.observe("lat", SimDuration::from_millis(3));
+        assert_eq!(m.histogram("lat").unwrap().count(), 1);
+        assert!(m.histogram("nope").is_none());
+    }
+}

@@ -1,0 +1,312 @@
+//! Event traces and ASCII event-diagram rendering.
+//!
+//! The paper argues with event diagrams (Figures 1–4). To reproduce them
+//! faithfully, every run can record sends, deliveries, drops and
+//! application marks; the trace then renders as an ASCII chart with one
+//! column per process and time advancing downward, exactly the charting
+//! device the paper uses. Traces also hash deterministically, which the
+//! test suite uses to prove replayability.
+
+use crate::process::ProcessId;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::fmt::Write as _;
+use std::hash::{Hash, Hasher};
+
+/// One observable occurrence in a run.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A message left `from` bound for `to`.
+    Send {
+        at: SimTime,
+        from: ProcessId,
+        to: ProcessId,
+        label: String,
+    },
+    /// A message from `from` arrived at `to` (handed to the process).
+    Deliver {
+        at: SimTime,
+        from: ProcessId,
+        to: ProcessId,
+        label: String,
+    },
+    /// The network dropped a message.
+    Drop {
+        at: SimTime,
+        from: ProcessId,
+        to: ProcessId,
+        label: String,
+    },
+    /// An application-level annotation at one process.
+    Mark {
+        at: SimTime,
+        proc: ProcessId,
+        label: String,
+    },
+    /// A crash or recovery.
+    Fault {
+        at: SimTime,
+        proc: ProcessId,
+        crashed: bool,
+    },
+}
+
+impl TraceEvent {
+    /// The instant the event occurred.
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceEvent::Send { at, .. }
+            | TraceEvent::Deliver { at, .. }
+            | TraceEvent::Drop { at, .. }
+            | TraceEvent::Mark { at, .. }
+            | TraceEvent::Fault { at, .. } => *at,
+        }
+    }
+}
+
+/// A recorded sequence of [`TraceEvent`]s.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// Creates a trace; recording is off until [`Trace::enable`] is called,
+    /// so large experiments pay nothing for tracing.
+    pub fn new() -> Self {
+        Trace {
+            events: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Turns recording on.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records `ev` if recording is enabled.
+    pub fn record(&mut self, ev: TraceEvent) {
+        if self.enabled {
+            self.events.push(ev);
+        }
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// A stable 64-bit digest of the trace, for determinism assertions.
+    pub fn digest(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        for e in &self.events {
+            e.hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Serializes the trace as JSON lines (one event per line).
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&serde_json::to_string(e).expect("trace events serialize"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the trace as an ASCII event diagram: one column per process
+    /// (up to `n_procs`), time advancing downward, in the style of the
+    /// paper's Figures 1–4.
+    ///
+    /// Deliveries and marks are shown on the owning process's column;
+    /// sends show as `label ->P2`, deliveries as `label <-P0`.
+    pub fn render_event_diagram(&self, n_procs: usize, names: &[&str]) -> String {
+        const COL: usize = 22;
+        let mut out = String::new();
+        // Header.
+        let _ = write!(out, "{:>12} |", "time");
+        for i in 0..n_procs {
+            let name = names.get(i).copied().unwrap_or("");
+            let head = if name.is_empty() {
+                format!("P{i}")
+            } else {
+                format!("P{i}:{name}")
+            };
+            let _ = write!(out, " {head:^COL$} |");
+        }
+        out.push('\n');
+        let _ = write!(out, "{:->12}-+", "");
+        for _ in 0..n_procs {
+            let _ = write!(out, "{:-^w$}+", "", w = COL + 2);
+        }
+        out.push('\n');
+        for e in &self.events {
+            let (col, cell) = match e {
+                TraceEvent::Send { from, to, label, .. } => {
+                    (from.0, format!("{label} ->{to}"))
+                }
+                TraceEvent::Deliver { from, to, label, .. } => {
+                    (to.0, format!("{label} <-{from}"))
+                }
+                TraceEvent::Drop { from, to, label, .. } => {
+                    (to.0, format!("XX {label} <-{from}"))
+                }
+                TraceEvent::Mark { proc, label, .. } => (proc.0, format!("* {label}")),
+                TraceEvent::Fault { proc, crashed, .. } => {
+                    (proc.0, if *crashed { "!! CRASH".into() } else { "!! recover".to_string() })
+                }
+            };
+            if col >= n_procs {
+                continue;
+            }
+            let _ = write!(out, "{:>12} |", e.at().to_string());
+            for i in 0..n_procs {
+                if i == col {
+                    let mut c = cell.clone();
+                    if c.len() > COL {
+                        c.truncate(COL);
+                    }
+                    let _ = write!(out, " {c:^COL$} |");
+                } else {
+                    let _ = write!(out, " {:^COL$} |", "");
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A copy of the trace keeping only events whose rendered label
+    /// matches `keep` (plus all marks and faults) — used to strip
+    /// protocol chatter from event diagrams.
+    pub fn filtered(&self, keep: impl Fn(&str) -> bool) -> Trace {
+        let mut t = Trace::new();
+        t.enable();
+        for e in &self.events {
+            let retain = match e {
+                TraceEvent::Send { label, .. }
+                | TraceEvent::Deliver { label, .. }
+                | TraceEvent::Drop { label, .. } => keep(label),
+                TraceEvent::Mark { .. } | TraceEvent::Fault { .. } => true,
+            };
+            if retain {
+                t.record(e.clone());
+            }
+        }
+        t
+    }
+
+    /// Returns the deliveries at process `p`, in delivery order.
+    pub fn deliveries_at(&self, p: ProcessId) -> Vec<(SimTime, ProcessId, &str)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Deliver { at, from, to, label } if *to == p => {
+                    Some((*at, *from, label.as_str()))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        t.enable();
+        t.record(TraceEvent::Send {
+            at: SimTime::from_micros(10),
+            from: ProcessId(0),
+            to: ProcessId(1),
+            label: "m1".into(),
+        });
+        t.record(TraceEvent::Deliver {
+            at: SimTime::from_micros(20),
+            from: ProcessId(0),
+            to: ProcessId(1),
+            label: "m1".into(),
+        });
+        t.record(TraceEvent::Mark {
+            at: SimTime::from_micros(25),
+            proc: ProcessId(1),
+            label: "acted".into(),
+        });
+        t
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new();
+        t.record(TraceEvent::Mark {
+            at: SimTime::ZERO,
+            proc: ProcessId(0),
+            label: "x".into(),
+        });
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn digest_is_stable_and_order_sensitive() {
+        let t1 = sample();
+        let t2 = sample();
+        assert_eq!(t1.digest(), t2.digest());
+
+        let mut t3 = Trace::new();
+        t3.enable();
+        // Same events, different order.
+        let evs: Vec<_> = sample().events().to_vec();
+        for e in evs.into_iter().rev() {
+            t3.record(e);
+        }
+        assert_ne!(t1.digest(), t3.digest());
+    }
+
+    #[test]
+    fn diagram_renders_all_rows() {
+        let d = sample().render_event_diagram(2, &["sender", "receiver"]);
+        assert!(d.contains("P0:sender"));
+        assert!(d.contains("m1 ->P1"));
+        assert!(d.contains("m1 <-P0"));
+        assert!(d.contains("* acted"));
+    }
+
+    #[test]
+    fn filtered_keeps_matching_and_marks() {
+        let t = sample();
+        let f = t.filtered(|l| l.contains("nothing"));
+        // Send and Deliver dropped; the Mark survives.
+        assert_eq!(f.events().len(), 1);
+        let f2 = t.filtered(|l| l.contains("m1"));
+        assert_eq!(f2.events().len(), 3);
+    }
+
+    #[test]
+    fn deliveries_at_filters_by_process() {
+        let t = sample();
+        let d = t.deliveries_at(ProcessId(1));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].2, "m1");
+        assert!(t.deliveries_at(ProcessId(0)).is_empty());
+    }
+
+    #[test]
+    fn json_lines_roundtrip() {
+        let t = sample();
+        let lines = t.to_json_lines();
+        assert_eq!(lines.lines().count(), 3);
+        let first: TraceEvent = serde_json::from_str(lines.lines().next().unwrap()).unwrap();
+        assert_eq!(&first, &t.events()[0]);
+    }
+}

@@ -1,0 +1,289 @@
+//! Causal memory via state-level write clocks (§3.3).
+//!
+//! The paper lists causal memory \[Ahamad, Hutto, John '91\] as the
+//! *weakest* semantic ordering constraint an application may need — and
+//! notes that even it "can not be enforced through the use of causal
+//! multicast ... much cheaper protocols, which utilize state-level
+//! logical clocks, can be used instead."
+//!
+//! This module is that cheaper protocol: the vector clock here ticks on
+//! **writes** (state updates), not on messages. Reads are local and free;
+//! acknowledgements, retransmissions and any other communication never
+//! advance the clock — the §6 "state clocks tick an order of magnitude
+//! slower than communication clocks" point, made concrete.
+//!
+//! Guarantee: writes that are causally related (through the memory
+//! itself: a process writes after reading/applying another write) are
+//! applied in causal order at every replica. Concurrent writes to
+//! different variables never delay each other beyond their own
+//! dependencies; concurrent writes to the *same* variable converge by a
+//! deterministic last-writer-wins rule so replicas agree eventually.
+
+use clocks::vector::VectorClock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A shared-memory variable id.
+pub type Var = u64;
+
+/// A propagated write.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WriteMsg<V> {
+    /// The writing replica.
+    pub writer: usize,
+    /// The writer's write-clock at this write (its own component already
+    /// incremented — this write is number `vt[writer]` from `writer`).
+    pub vt: VectorClock,
+    /// The variable written.
+    pub var: Var,
+    /// The value written.
+    pub value: V,
+}
+
+/// A stored value with its origin (for last-writer-wins on concurrency).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct Slot<V> {
+    value: V,
+    vt: VectorClock,
+    writer: usize,
+}
+
+/// One replica of the causal memory.
+#[derive(Clone, Debug)]
+pub struct CausalMemory<V> {
+    me: usize,
+    /// Write clock: `vt[k]` = number of writes from replica `k` applied.
+    vt: VectorClock,
+    store: BTreeMap<Var, Slot<V>>,
+    holdback: Vec<WriteMsg<V>>,
+    /// Writes applied (local + remote).
+    applied: u64,
+}
+
+impl<V: Clone> CausalMemory<V> {
+    /// Creates replica `me` of `n`.
+    pub fn new(me: usize, n: usize) -> Self {
+        assert!(me < n, "replica index out of range");
+        CausalMemory {
+            me,
+            vt: VectorClock::new(n),
+            store: BTreeMap::new(),
+            holdback: Vec::new(),
+            applied: 0,
+        }
+    }
+
+    /// Reads a variable — always local, never blocks, never ticks the
+    /// clock.
+    pub fn read(&self, var: Var) -> Option<&V> {
+        self.store.get(&var).map(|s| &s.value)
+    }
+
+    /// Writes a variable; returns the message to disseminate (any
+    /// reliable transport, no ordering required).
+    pub fn write(&mut self, var: Var, value: V) -> WriteMsg<V> {
+        self.vt.tick(self.me);
+        let msg = WriteMsg {
+            writer: self.me,
+            vt: self.vt.clone(),
+            var,
+            value: value.clone(),
+        };
+        self.apply(&msg);
+        msg
+    }
+
+    /// Handles a remote write; applies it (and any unblocked held
+    /// writes) as soon as its causal predecessors are in. Returns the
+    /// number of writes applied by this call.
+    pub fn on_write(&mut self, msg: WriteMsg<V>) -> usize {
+        if msg.vt.get(msg.writer) <= self.vt.get(msg.writer) {
+            return 0; // duplicate
+        }
+        self.holdback.push(msg);
+        let mut applied = 0;
+        loop {
+            let idx = self
+                .holdback
+                .iter()
+                .position(|m| self.vt.deliverable(&m.vt, m.writer));
+            let Some(idx) = idx else { break };
+            let m = self.holdback.swap_remove(idx);
+            self.vt.set(m.writer, m.vt.get(m.writer));
+            self.apply(&m);
+            applied += 1;
+        }
+        applied
+    }
+
+    fn apply(&mut self, msg: &WriteMsg<V>) {
+        self.applied += 1;
+        let install = match self.store.get(&msg.var) {
+            None => true,
+            Some(slot) => {
+                use clocks::vector::ClockOrd;
+                match slot.vt.compare(&msg.vt) {
+                    ClockOrd::Before => true, // causally newer write wins
+                    ClockOrd::After | ClockOrd::Equal => false,
+                    ClockOrd::Concurrent => {
+                        // Deterministic last-writer-wins for concurrent
+                        // writes: higher (sum, writer) wins, so all
+                        // replicas converge to the same value.
+                        (msg.vt.total_events(), msg.writer)
+                            > (slot.vt.total_events(), slot.writer)
+                    }
+                }
+            }
+        };
+        if install {
+            self.store.insert(
+                msg.var,
+                Slot {
+                    value: msg.value.clone(),
+                    vt: msg.vt.clone(),
+                    writer: msg.writer,
+                },
+            );
+        }
+    }
+
+    /// This replica's write clock.
+    pub fn clock(&self) -> &VectorClock {
+        &self.vt
+    }
+
+    /// Remote writes held waiting for causal predecessors.
+    pub fn held(&self) -> usize {
+        self.holdback.len()
+    }
+
+    /// Total writes applied here.
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// The full store contents (testing convergence).
+    pub fn snapshot(&self) -> BTreeMap<Var, V> {
+        self.store
+            .iter()
+            .map(|(&k, s)| (k, s.value.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reads_are_local_and_clock_free() {
+        let mut m: CausalMemory<i32> = CausalMemory::new(0, 2);
+        m.write(1, 10);
+        let before = m.clock().clone();
+        assert_eq!(m.read(1), Some(&10));
+        assert_eq!(m.read(99), None);
+        assert_eq!(m.clock(), &before, "reads never tick the clock");
+    }
+
+    #[test]
+    fn causally_ordered_writes_apply_in_order() {
+        let mut a: CausalMemory<&str> = CausalMemory::new(0, 3);
+        let mut b: CausalMemory<&str> = CausalMemory::new(1, 3);
+        let mut c: CausalMemory<&str> = CausalMemory::new(2, 3);
+        let w1 = a.write(1, "first");
+        b.on_write(w1.clone());
+        assert_eq!(b.read(1), Some(&"first"));
+        // b's write causally follows w1 (b applied it before writing).
+        let w2 = b.write(1, "second");
+        // c receives w2 first: held until w1 arrives.
+        assert_eq!(c.on_write(w2.clone()), 0);
+        assert_eq!(c.held(), 1);
+        assert_eq!(c.read(1), None);
+        assert_eq!(c.on_write(w1), 2);
+        assert_eq!(c.read(1), Some(&"second"), "never regresses to 'first'");
+    }
+
+    #[test]
+    fn independent_variables_never_wait() {
+        let mut a: CausalMemory<i32> = CausalMemory::new(0, 3);
+        let mut b: CausalMemory<i32> = CausalMemory::new(1, 3);
+        let mut c: CausalMemory<i32> = CausalMemory::new(2, 3);
+        let wa = a.write(1, 10);
+        let wb = b.write(2, 20);
+        // c gets them in either order — both independent, both apply.
+        assert_eq!(c.on_write(wb), 1);
+        assert_eq!(c.on_write(wa), 1);
+        assert_eq!(c.read(1), Some(&10));
+        assert_eq!(c.read(2), Some(&20));
+    }
+
+    #[test]
+    fn concurrent_writes_converge_deterministically() {
+        let mut a: CausalMemory<&str> = CausalMemory::new(0, 2);
+        let mut b: CausalMemory<&str> = CausalMemory::new(1, 2);
+        let wa = a.write(1, "from a");
+        let wb = b.write(1, "from b");
+        a.on_write(wb.clone());
+        b.on_write(wa.clone());
+        assert_eq!(a.read(1), b.read(1), "replicas converge");
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let mut a: CausalMemory<i32> = CausalMemory::new(0, 2);
+        let mut b: CausalMemory<i32> = CausalMemory::new(1, 2);
+        let w = a.write(1, 5);
+        assert_eq!(b.on_write(w.clone()), 1);
+        assert_eq!(b.on_write(w), 0);
+        assert_eq!(b.applied(), 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Convergence: replicas that exchange all writes (in any order)
+        /// end with identical stores.
+        #[test]
+        fn convergence_under_any_interleaving(
+            writes in proptest::collection::vec((0usize..3, 0u64..4, 0i32..100), 1..20),
+            shuffle in proptest::collection::vec(0usize..1000, 0..20),
+        ) {
+            let n = 3;
+            let mut mems: Vec<CausalMemory<i32>> =
+                (0..n).map(|i| CausalMemory::new(i, n)).collect();
+            // Issue writes locally, collecting the messages.
+            let mut msgs = Vec::new();
+            for (who, var, val) in writes {
+                msgs.push(mems[who].write(var, val));
+            }
+            // Deliver all messages to all other replicas in a permuted
+            // order (per replica).
+            for i in 0..n {
+                let mut order: Vec<usize> = (0..msgs.len()).collect();
+                for (j, &s) in shuffle.iter().enumerate() {
+                    if !order.is_empty() {
+                        let a = j % order.len();
+                        let b = s % order.len();
+                        order.swap(a, b);
+                    }
+                }
+                // Repeat delivery rounds so held writes eventually apply.
+                for _round in 0..msgs.len() + 1 {
+                    for &k in &order {
+                        if msgs[k].writer != i {
+                            mems[i].on_write(msgs[k].clone());
+                        }
+                    }
+                }
+            }
+            let reference = mems[0].snapshot();
+            for m in &mems[1..] {
+                prop_assert_eq!(&m.snapshot(), &reference, "divergent replicas");
+            }
+            for m in &mems {
+                prop_assert_eq!(m.held(), 0, "no writes stuck in holdback");
+            }
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! A linearizability checker for register histories (§3.3).
+//!
+//! The paper names linearizability \[Herlihy & Wing '90\] among the
+//! semantic ordering constraints "stronger than or distinct from the
+//! ordering constraints imposed by the happens-before relationship" —
+//! for which "neither causally nor totally ordered multicast is
+//! sufficient". This checker makes that claim testable: given a history
+//! of timed register operations (e.g. collected from a replicated store
+//! built on cbcast), it decides whether any legal sequential ordering is
+//! consistent with the real-time order — the Wing & Gong exhaustive
+//! search, fine for the small histories tests produce.
+
+use serde::{Deserialize, Serialize};
+use simnet::time::SimTime;
+
+/// A register operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegisterOp<V> {
+    /// Write `V`.
+    Write(V),
+    /// Read observed `V` (None = initial value).
+    Read(Option<V>),
+}
+
+/// One completed operation in a history.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimedOp<V> {
+    /// Invocation instant.
+    pub invoked: SimTime,
+    /// Response instant.
+    pub responded: SimTime,
+    /// The operation and its outcome.
+    pub op: RegisterOp<V>,
+}
+
+impl<V> TimedOp<V> {
+    /// Builds an operation.
+    pub fn new(invoked: SimTime, responded: SimTime, op: RegisterOp<V>) -> Self {
+        assert!(invoked <= responded, "response precedes invocation");
+        TimedOp {
+            invoked,
+            responded,
+            op,
+        }
+    }
+
+    /// Whether this op completed strictly before `other` began.
+    pub fn precedes(&self, other: &TimedOp<V>) -> bool {
+        self.responded < other.invoked
+    }
+}
+
+/// Checks whether `history` is linearizable as a single register with
+/// initial value `None`.
+///
+/// Exhaustive with pruning: exponential in the worst case — use on the
+/// small histories produced by tests, as intended.
+pub fn is_linearizable<V: Copy + Eq>(history: &[TimedOp<V>]) -> bool {
+    let n = history.len();
+    if n == 0 {
+        return true;
+    }
+    let mut used = vec![false; n];
+    search(history, &mut used, None, n)
+}
+
+fn search<V: Copy + Eq>(
+    history: &[TimedOp<V>],
+    used: &mut [bool],
+    current: Option<V>,
+    remaining: usize,
+) -> bool {
+    if remaining == 0 {
+        return true;
+    }
+    for i in 0..history.len() {
+        if used[i] {
+            continue;
+        }
+        // `i` may be linearized next only if no other pending operation
+        // completed before `i` was invoked.
+        let minimal = (0..history.len())
+            .filter(|&j| !used[j] && j != i)
+            .all(|j| !history[j].precedes(&history[i]));
+        if !minimal {
+            continue;
+        }
+        let next = match history[i].op {
+            RegisterOp::Write(v) => Some(Some(v)),
+            RegisterOp::Read(v) => (v == current).then_some(current),
+        };
+        if let Some(state) = next {
+            used[i] = true;
+            if search(history, used, state, remaining - 1) {
+                used[i] = false;
+                return true;
+            }
+            used[i] = false;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn w(inv: u64, res: u64, v: i32) -> TimedOp<i32> {
+        TimedOp::new(t(inv), t(res), RegisterOp::Write(v))
+    }
+
+    fn r(inv: u64, res: u64, v: Option<i32>) -> TimedOp<i32> {
+        TimedOp::new(t(inv), t(res), RegisterOp::Read(v))
+    }
+
+    #[test]
+    fn empty_and_sequential_histories() {
+        assert!(is_linearizable::<i32>(&[]));
+        assert!(is_linearizable(&[w(0, 1, 5), r(2, 3, Some(5))]));
+        assert!(is_linearizable(&[r(0, 1, None), w(2, 3, 5)]));
+    }
+
+    #[test]
+    fn stale_read_after_write_completes_is_rejected() {
+        // Write(5) fully completes; a later read returning the initial
+        // value cannot be linearized.
+        let h = [w(0, 1, 5), r(2, 3, None)];
+        assert!(!is_linearizable(&h));
+    }
+
+    #[test]
+    fn overlapping_read_may_see_either_side() {
+        // Read overlaps the write: both outcomes are linearizable.
+        assert!(is_linearizable(&[w(0, 10, 5), r(5, 6, Some(5))]));
+        assert!(is_linearizable(&[w(0, 10, 5), r(5, 6, None)]));
+    }
+
+    #[test]
+    fn new_old_inversion_is_rejected() {
+        // Two sequential reads: the first sees the new value, the second
+        // sees the old — a classic non-linearizable "new/old inversion".
+        let h = [
+            w(0, 10, 5),
+            r(2, 3, Some(5)), // sees the write...
+            r(4, 6, None),    // ...then a later read un-sees it
+        ];
+        assert!(!is_linearizable(&h));
+    }
+
+    #[test]
+    fn concurrent_writes_allow_either_order() {
+        let h = [
+            w(0, 10, 1),
+            w(0, 10, 2),
+            r(11, 12, Some(1)), // one of the two must be last
+        ];
+        assert!(is_linearizable(&h));
+        let h2 = [w(0, 10, 1), w(0, 10, 2), r(11, 12, Some(2))];
+        assert!(is_linearizable(&h2));
+        let h3 = [w(0, 10, 1), w(0, 10, 2), r(11, 12, None)];
+        assert!(!is_linearizable(&h3));
+    }
+
+    #[test]
+    fn causal_replication_history_is_not_linearizable() {
+        // The shape a cbcast-replicated register produces: replica A
+        // writes and responds immediately (asynchronous update); a read
+        // at replica B after the write's response still sees the old
+        // value (propagation in flight). Linearizability rejects it.
+        let h = [
+            w(0, 1, 42),        // A's write "completes" locally at 1ms
+            r(5, 6, None),      // B reads stale at 5ms
+            r(20, 21, Some(42)) // B eventually sees it
+        ];
+        assert!(!is_linearizable(&h));
+    }
+
+    #[test]
+    #[should_panic(expected = "response precedes invocation")]
+    fn rejects_backwards_ops() {
+        let _ = TimedOp::new(t(5), t(1), RegisterOp::Write(1));
+    }
+}

@@ -1,0 +1,209 @@
+//! A multi-version key-value store: the state under the transactions.
+//!
+//! Each key keeps a history of committed versions stamped with the
+//! committing transaction's [`TotalStamp`] — the §4.3 commit-time
+//! ordering ("local timestamp of the coordinator ... plus node id to
+//! break ties"). Reads can be served *as of* any stamp (snapshot reads
+//! for OCC); writes stage per transaction and become visible atomically
+//! at commit.
+
+use crate::lock::TxId;
+use clocks::lamport::TotalStamp;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One committed version of a key.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Version {
+    /// Commit stamp (global order position).
+    pub stamp: TotalStamp,
+    /// Committing transaction.
+    pub tx: TxId,
+    /// The value.
+    pub value: i64,
+}
+
+/// A multi-version store with staged (uncommitted) writes.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct MvccStore {
+    /// Committed history per key, stamp-ordered.
+    committed: BTreeMap<u64, Vec<Version>>,
+    /// Staged writes per transaction.
+    staged: BTreeMap<TxId, BTreeMap<u64, i64>>,
+}
+
+impl MvccStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stages a write for `tx` (invisible to everyone else).
+    pub fn stage(&mut self, tx: TxId, key: u64, value: i64) {
+        self.staged.entry(tx).or_default().insert(key, value);
+    }
+
+    /// Reads `key` within `tx`: own staged write first, else the latest
+    /// committed version at or before `as_of`.
+    pub fn read(&self, tx: TxId, key: u64, as_of: TotalStamp) -> Option<i64> {
+        if let Some(writes) = self.staged.get(&tx) {
+            if let Some(&v) = writes.get(&key) {
+                return Some(v);
+            }
+        }
+        self.read_committed(key, as_of)
+    }
+
+    /// Reads the latest committed value of `key` at or before `as_of`
+    /// (a snapshot read — no transaction context).
+    pub fn read_committed(&self, key: u64, as_of: TotalStamp) -> Option<i64> {
+        self.committed.get(&key).and_then(|versions| {
+            versions
+                .iter()
+                .rev()
+                .find(|v| v.stamp <= as_of)
+                .map(|v| v.value)
+        })
+    }
+
+    /// Commits `tx` at `stamp`: all staged writes become visible
+    /// atomically, in global-stamp order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a version with a later stamp is already committed for
+    /// one of the keys (commit stamps must be handed out in order per
+    /// key — the lock manager guarantees this under 2PL).
+    pub fn commit(&mut self, tx: TxId, stamp: TotalStamp) -> usize {
+        let Some(writes) = self.staged.remove(&tx) else {
+            return 0;
+        };
+        let n = writes.len();
+        for (key, value) in writes {
+            let versions = self.committed.entry(key).or_default();
+            if let Some(last) = versions.last() {
+                assert!(
+                    last.stamp < stamp,
+                    "commit stamps must be monotone per key"
+                );
+            }
+            versions.push(Version { stamp, tx, value });
+        }
+        n
+    }
+
+    /// Aborts `tx`: staged writes vanish.
+    pub fn abort(&mut self, tx: TxId) -> usize {
+        self.staged.remove(&tx).map(|w| w.len()).unwrap_or(0)
+    }
+
+    /// The number of committed versions retained for `key`.
+    pub fn version_count(&self, key: u64) -> usize {
+        self.committed.get(&key).map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// Discards versions older than `horizon` except the newest one at
+    /// or below it (still needed to serve reads at the horizon).
+    pub fn vacuum(&mut self, horizon: TotalStamp) -> usize {
+        let mut removed = 0;
+        for versions in self.committed.values_mut() {
+            // Index of the newest version <= horizon.
+            let keep_from = versions
+                .iter()
+                .rposition(|v| v.stamp <= horizon)
+                .unwrap_or(0);
+            removed += keep_from;
+            versions.drain(..keep_from);
+        }
+        removed
+    }
+
+    /// Latest committed stamp across all keys (the vacuum horizon aide).
+    pub fn latest_stamp(&self) -> Option<TotalStamp> {
+        self.committed
+            .values()
+            .filter_map(|v| v.last())
+            .map(|v| v.stamp)
+            .max()
+    }
+
+    /// Transactions with staged writes.
+    pub fn staged_txs(&self) -> Vec<TxId> {
+        self.staged.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(t: u64) -> TotalStamp {
+        TotalStamp { time: t, node: 0 }
+    }
+
+    #[test]
+    fn staged_writes_invisible_until_commit() {
+        let mut kv = MvccStore::new();
+        kv.stage(TxId(1), 10, 100);
+        assert_eq!(kv.read_committed(10, s(99)), None);
+        assert_eq!(kv.read(TxId(1), 10, s(0)), Some(100), "own write visible");
+        assert_eq!(kv.read(TxId(2), 10, s(99)), None, "other tx blind");
+        kv.commit(TxId(1), s(5));
+        assert_eq!(kv.read_committed(10, s(99)), Some(100));
+    }
+
+    #[test]
+    fn snapshot_reads_respect_stamps() {
+        let mut kv = MvccStore::new();
+        kv.stage(TxId(1), 10, 1);
+        kv.commit(TxId(1), s(5));
+        kv.stage(TxId(2), 10, 2);
+        kv.commit(TxId(2), s(10));
+        assert_eq!(kv.read_committed(10, s(4)), None);
+        assert_eq!(kv.read_committed(10, s(5)), Some(1));
+        assert_eq!(kv.read_committed(10, s(7)), Some(1));
+        assert_eq!(kv.read_committed(10, s(10)), Some(2));
+    }
+
+    #[test]
+    fn abort_discards_writes() {
+        let mut kv = MvccStore::new();
+        kv.stage(TxId(1), 10, 1);
+        assert_eq!(kv.abort(TxId(1)), 1);
+        assert_eq!(kv.read_committed(10, s(99)), None);
+        assert_eq!(kv.commit(TxId(1), s(5)), 0, "nothing left to commit");
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone per key")]
+    fn out_of_order_commit_stamps_rejected() {
+        let mut kv = MvccStore::new();
+        kv.stage(TxId(1), 10, 1);
+        kv.commit(TxId(1), s(10));
+        kv.stage(TxId(2), 10, 2);
+        kv.commit(TxId(2), s(5));
+    }
+
+    #[test]
+    fn vacuum_keeps_horizon_version() {
+        let mut kv = MvccStore::new();
+        for (tx, t, v) in [(1u64, 5u64, 1i64), (2, 10, 2), (3, 15, 3)] {
+            kv.stage(TxId(tx), 10, v);
+            kv.commit(TxId(tx), s(t));
+        }
+        assert_eq!(kv.version_count(10), 3);
+        let removed = kv.vacuum(s(12));
+        assert_eq!(removed, 1, "only the version strictly below the keeper");
+        assert_eq!(kv.read_committed(10, s(12)), Some(2), "horizon read intact");
+        assert_eq!(kv.read_committed(10, s(20)), Some(3));
+        assert_eq!(kv.latest_stamp(), Some(s(15)));
+    }
+
+    #[test]
+    fn staged_txs_listing() {
+        let mut kv = MvccStore::new();
+        kv.stage(TxId(3), 1, 1);
+        kv.stage(TxId(1), 2, 2);
+        assert_eq!(kv.staged_txs(), vec![TxId(1), TxId(3)]);
+    }
+}

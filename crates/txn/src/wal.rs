@@ -1,0 +1,227 @@
+//! A write-ahead log with simulated stable storage.
+//!
+//! The paper's durability contrast (§2): CATOCS delivery "is atomic, but
+//! not durable. ... if the sender fails during CATOCS protocol execution
+//! before the message is stable, there is no guarantee that the remaining
+//! operational processes will ever receive and deliver the message." A
+//! transactional participant, by contrast, forces a log record to stable
+//! storage before acknowledging prepare — so its promises survive a
+//! crash. The log here models exactly that: records are volatile until
+//! [`WriteAheadLog::sync`] and survive [`WriteAheadLog::crash`] only if
+//! synced.
+
+use crate::lock::TxId;
+use serde::{Deserialize, Serialize};
+
+/// One log record.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LogRecord {
+    /// Transaction started.
+    Begin(TxId),
+    /// A write: key, old value, new value (undo/redo).
+    Write {
+        tx: TxId,
+        key: u64,
+        old: i64,
+        new: i64,
+    },
+    /// Participant promised to commit if told to.
+    Prepared(TxId),
+    /// Transaction committed.
+    Commit(TxId),
+    /// Transaction aborted.
+    Abort(TxId),
+}
+
+impl LogRecord {
+    /// The transaction a record belongs to.
+    pub fn tx(&self) -> TxId {
+        match self {
+            LogRecord::Begin(t)
+            | LogRecord::Prepared(t)
+            | LogRecord::Commit(t)
+            | LogRecord::Abort(t) => *t,
+            LogRecord::Write { tx, .. } => *tx,
+        }
+    }
+}
+
+/// The simulated write-ahead log.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct WriteAheadLog {
+    /// Records forced to stable storage.
+    stable: Vec<LogRecord>,
+    /// Records appended but not yet synced.
+    volatile: Vec<LogRecord>,
+    /// Sync (force) operations performed — the cost knob.
+    syncs: u64,
+}
+
+impl WriteAheadLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record (volatile until synced).
+    pub fn append(&mut self, r: LogRecord) {
+        self.volatile.push(r);
+    }
+
+    /// Forces all appended records to stable storage.
+    pub fn sync(&mut self) {
+        self.stable.append(&mut self.volatile);
+        self.syncs += 1;
+    }
+
+    /// Appends and immediately forces (the prepare/commit path).
+    pub fn append_sync(&mut self, r: LogRecord) {
+        self.append(r);
+        self.sync();
+    }
+
+    /// Simulates a crash: volatile records are lost.
+    pub fn crash(&mut self) {
+        self.volatile.clear();
+    }
+
+    /// All durable records, in order.
+    pub fn stable_records(&self) -> &[LogRecord] {
+        &self.stable
+    }
+
+    /// Number of sync operations so far.
+    pub fn sync_count(&self) -> u64 {
+        self.syncs
+    }
+
+    /// Recovery analysis: transactions that were prepared but have no
+    /// commit/abort outcome (in-doubt), and transactions with a durable
+    /// commit.
+    pub fn recover(&self) -> RecoveryOutcome {
+        let mut prepared = Vec::new();
+        let mut committed = Vec::new();
+        let mut aborted = Vec::new();
+        for r in &self.stable {
+            match r {
+                LogRecord::Prepared(t) => prepared.push(*t),
+                LogRecord::Commit(t) => committed.push(*t),
+                LogRecord::Abort(t) => aborted.push(*t),
+                _ => {}
+            }
+        }
+        let in_doubt: Vec<TxId> = prepared
+            .iter()
+            .copied()
+            .filter(|t| !committed.contains(t) && !aborted.contains(t))
+            .collect();
+        RecoveryOutcome {
+            committed,
+            aborted,
+            in_doubt,
+        }
+    }
+
+    /// Replays durable committed writes into a state map (redo recovery).
+    pub fn replay_committed(&self) -> std::collections::BTreeMap<u64, i64> {
+        let outcome = self.recover();
+        let mut state = std::collections::BTreeMap::new();
+        for r in &self.stable {
+            if let LogRecord::Write { tx, key, new, .. } = r {
+                if outcome.committed.contains(tx) {
+                    state.insert(*key, *new);
+                }
+            }
+        }
+        state
+    }
+}
+
+/// What recovery finds in the durable log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoveryOutcome {
+    /// Durably committed transactions.
+    pub committed: Vec<TxId>,
+    /// Durably aborted transactions.
+    pub aborted: Vec<TxId>,
+    /// Prepared transactions with no recorded outcome — must ask the
+    /// coordinator (the blocking case of 2PC).
+    pub in_doubt: Vec<TxId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsynced_records_lost_on_crash() {
+        let mut w = WriteAheadLog::new();
+        w.append(LogRecord::Begin(TxId(1)));
+        w.crash();
+        assert!(w.stable_records().is_empty());
+    }
+
+    #[test]
+    fn synced_records_survive_crash() {
+        let mut w = WriteAheadLog::new();
+        w.append(LogRecord::Begin(TxId(1)));
+        w.sync();
+        w.append(LogRecord::Commit(TxId(1)));
+        w.crash();
+        assert_eq!(w.stable_records(), &[LogRecord::Begin(TxId(1))]);
+        assert_eq!(w.sync_count(), 1);
+    }
+
+    #[test]
+    fn recovery_classifies_outcomes() {
+        let mut w = WriteAheadLog::new();
+        w.append_sync(LogRecord::Prepared(TxId(1)));
+        w.append_sync(LogRecord::Commit(TxId(1)));
+        w.append_sync(LogRecord::Prepared(TxId(2)));
+        w.append_sync(LogRecord::Prepared(TxId(3)));
+        w.append_sync(LogRecord::Abort(TxId(3)));
+        w.crash();
+        let r = w.recover();
+        assert_eq!(r.committed, vec![TxId(1)]);
+        assert_eq!(r.aborted, vec![TxId(3)]);
+        assert_eq!(r.in_doubt, vec![TxId(2)]);
+    }
+
+    #[test]
+    fn replay_applies_only_committed_writes() {
+        let mut w = WriteAheadLog::new();
+        w.append(LogRecord::Write {
+            tx: TxId(1),
+            key: 10,
+            old: 0,
+            new: 5,
+        });
+        w.append_sync(LogRecord::Commit(TxId(1)));
+        w.append(LogRecord::Write {
+            tx: TxId(2),
+            key: 11,
+            old: 0,
+            new: 9,
+        });
+        w.sync(); // write durable, but no commit record
+        w.crash();
+        let state = w.replay_committed();
+        assert_eq!(state.get(&10), Some(&5));
+        assert_eq!(state.get(&11), None);
+    }
+
+    #[test]
+    fn record_tx_accessor() {
+        assert_eq!(LogRecord::Begin(TxId(7)).tx(), TxId(7));
+        assert_eq!(
+            LogRecord::Write {
+                tx: TxId(8),
+                key: 0,
+                old: 0,
+                new: 0
+            }
+            .tx(),
+            TxId(8)
+        );
+    }
+}

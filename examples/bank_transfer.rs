@@ -1,0 +1,43 @@
+//! The whole state-level stack, end to end — §4.3 live.
+//!
+//! ```text
+//! cargo run --example bank_transfer
+//! ```
+//!
+//! Several clients run two-key transactions (think transfers between
+//! accounts on different shards) with randomized lock acquisition order —
+//! a recipe for distributed deadlock. Strict 2PL orders the transactions,
+//! 2PC commits them atomically, the wait-for monitor breaks the
+//! deadlocks, victims retry. No causal or total multicast anywhere; the
+//! outcome is verified serializable.
+
+use txn::scenario::run_txn_scenario;
+
+fn main() {
+    println!("2PL + MVCC + 2PC + wait-for deadlock monitor, over plain");
+    println!("unordered datagrams. Random lock order invites deadlock.\n");
+    for (label, shards, clients, keys) in [
+        ("low contention ", 3usize, 3usize, 8u64),
+        ("mid contention ", 3, 6, 4),
+        ("high contention", 2, 8, 2),
+    ] {
+        let r = run_txn_scenario(2026, shards, clients, keys, 6);
+        println!(
+            "{label} ({shards} shards, {clients} clients, {keys} keys/shard):"
+        );
+        println!(
+            "  committed {:3}   deadlock aborts {:2} (resolved {:2})   \
+             messages {:5}   serializable: {}   complete: {}",
+            r.committed,
+            r.deadlock_aborts,
+            r.deadlocks_resolved,
+            r.msgs,
+            if r.serializable { "yes" } else { "NO" },
+            if r.all_done { "yes" } else { "NO" },
+        );
+    }
+    println!("\n\"A distributed transaction management protocol already orders");
+    println!("the transactions ... The relative message ordering from");
+    println!("concurrent, but separate, transactions is irrelevant with");
+    println!("regards to correctness.\" (§4.3)");
+}

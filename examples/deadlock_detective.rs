@@ -1,0 +1,46 @@
+//! RPC deadlock detection — appendix 9.2, live.
+//!
+//! ```text
+//! cargo run --example deadlock_detective
+//! ```
+//!
+//! Plants a call cycle (server 0 → server 1 → back into server 0) among
+//! background RPC chains and runs both detectors: van Renesse's
+//! causal-multicast-everything design and the paper's periodic wait-for
+//! reports.
+
+use apps::rpc::{deadlock_scripts, run_state_detector, run_van_renesse};
+use simnet::net::NetConfig;
+use simnet::time::SimDuration;
+
+fn main() {
+    println!("Workload: server 0 calls server 1, which calls back into the");
+    println!("now-blocked server 0 — a classic RPC deadlock — plus background");
+    println!("chains on the other servers.\n");
+    for servers in [4usize, 8, 12] {
+        let scripts = deadlock_scripts(servers, servers);
+        let vr = run_van_renesse(1, servers, scripts.clone(), NetConfig::lossy_lan(0.0));
+        let st = run_state_detector(
+            1,
+            servers,
+            scripts,
+            SimDuration::from_millis(50),
+            NetConfig::lossy_lan(0.0),
+        );
+        println!("{servers} servers:");
+        println!(
+            "  van Renesse (cbcast every RPC event): detected at {:?}, {} messages",
+            vr.detected_at, vr.net_sent
+        );
+        println!(
+            "  state-level (periodic wait-for reports): detected at {:?}, {} messages",
+            st.detected_at, st.net_sent
+        );
+        let ratio = vr.net_sent as f64 / st.net_sent.max(1) as f64;
+        println!("  message ratio: {ratio:.1}x\n");
+    }
+    println!("Both find the deadlock; only one multicasts every invocation to");
+    println!("the whole group. \"The performance penalty of this algorithm");
+    println!("appears prohibitive, especially for detection of a relatively");
+    println!("infrequent event like deadlock.\" (appendix 9.2)");
+}

@@ -1,0 +1,59 @@
+//! The Figure-3 fire alarm, live.
+//!
+//! ```text
+//! cargo run --example fire_alarm
+//! ```
+//!
+//! A furnace controller multicasts "fire" twice; a monitor multicasts
+//! "fire out" in between. The fire itself is the hidden channel. The
+//! observer's last-delivered belief is sometimes wrong under causal AND
+//! total order; the real-time-timestamp belief never is.
+
+use apps::firemon::run_firemon;
+use catocs::endpoint::Discipline;
+use simnet::net::{LatencyModel, NetConfig};
+use simnet::time::SimDuration;
+
+fn net() -> NetConfig {
+    NetConfig {
+        latency: LatencyModel::Uniform {
+            min: SimDuration::from_micros(100),
+            max: SimDuration::from_millis(18),
+        },
+        ..NetConfig::default()
+    }
+}
+
+fn main() {
+    println!("Figure 3: fire #1, fire out, fire #2 — the physical fire is");
+    println!("an external channel no multicast layer can see.\n");
+    for (label, d) in [
+        ("causal multicast", Discipline::Causal),
+        ("total order     ", Discipline::Total { sequencer: 0 }),
+    ] {
+        let mut wrong_naive = 0;
+        let mut wrong_rt = 0;
+        let mut anomalies = 0;
+        const RUNS: u64 = 100;
+        for seed in 0..RUNS {
+            let r = run_firemon(seed, d, net(), 300);
+            if r.out_delivered_last {
+                anomalies += 1;
+            }
+            if r.naive_fire != Some(true) {
+                wrong_naive += 1;
+            }
+            if r.rt_fire != Some(true) {
+                wrong_rt += 1;
+            }
+        }
+        println!(
+            "{label}: \"fire out\" arrived last in {anomalies}/{RUNS} runs; \
+             last-message belief wrong {wrong_naive}x; \
+             timestamp belief wrong {wrong_rt}x"
+        );
+    }
+    println!("\nGround truth: the fire is burning. With ±300us clock skew and");
+    println!("5ms event spacing, temporal precedence (§4.6) is exact while");
+    println!("delivery order is not — CATOCS \"can't say for sure\".");
+}

@@ -1,0 +1,69 @@
+//! The Figure-2 shop floor, live.
+//!
+//! ```text
+//! cargo run --example shop_floor
+//! ```
+//!
+//! Client A starts and then stops a manufacturing lot through two
+//! shop-floor-control instances sharing a database (the hidden channel).
+//! Sweeps seeds and reports how often the remote observer saw the
+//! updates out of order, and what each observer strategy concluded.
+
+use apps::shopfloor::run_shopfloor;
+use simnet::net::{LatencyModel, NetConfig};
+use simnet::time::SimDuration;
+use simnet::topology::Topology;
+
+fn net() -> NetConfig {
+    const W: f64 = 30.0;
+    let dist = vec![
+        vec![0.0, W, 1.0, 1.0, W],
+        vec![W, 0.0, 1.0, 1.0, W],
+        vec![1.0, 1.0, 0.0, 1.0, W],
+        vec![1.0, 1.0, 1.0, 0.0, W],
+        vec![W, W, W, W, 0.0],
+    ];
+    NetConfig {
+        latency: LatencyModel::Spatial {
+            per_unit: SimDuration::from_micros(400),
+            jitter: SimDuration::from_micros(300),
+        },
+        topology: Topology::explicit(dist),
+        ..NetConfig::default()
+    }
+}
+
+fn main() {
+    println!("Figure 2: the database orders Start before Stop, but that");
+    println!("ordering is invisible to the multicast layer.\n");
+    let mut misordered = 0;
+    let mut naive_wrong = 0;
+    let mut versioned_wrong = 0;
+    const RUNS: u64 = 100;
+    for seed in 0..RUNS {
+        let r = run_shopfloor(seed, net());
+        if r.misordered {
+            misordered += 1;
+            if seed < 5 {
+                println!(
+                    "seed {seed}: observer delivered STOP before START → naive \
+                     state = {:?}, versioned state = {:?}",
+                    r.naive_final_stopped.map(|s| if s { "stopped" } else { "running!" }),
+                    r.versioned_final_stopped.map(|s| if s { "stopped" } else { "running!" }),
+                );
+            }
+        }
+        if r.naive_final_stopped != Some(true) {
+            naive_wrong += 1;
+        }
+        if r.versioned_final_stopped != Some(true) {
+            versioned_wrong += 1;
+        }
+    }
+    println!("\nover {RUNS} runs:");
+    println!("  misordered deliveries at the observer : {misordered}");
+    println!("  naive (delivery-order) state wrong     : {naive_wrong}");
+    println!("  version-checked state wrong            : {versioned_wrong}");
+    println!("\nThe lot-status version numbers — \"logical clocks on the");
+    println!("database state\" — make delivery order irrelevant (§3.1).");
+}

@@ -1,0 +1,25 @@
+//! # catocs-repro
+//!
+//! A full reproduction of Cheriton & Skeen, *Understanding the Limitations
+//! of Causally and Totally Ordered Communication* (SOSP 1993).
+//!
+//! This umbrella crate re-exports every subsystem in the workspace so the
+//! examples and integration tests can use a single import root:
+//!
+//! - [`simnet`] — deterministic discrete-event network simulator.
+//! - [`clocks`] — Lamport / vector / matrix / synchronized real-time clocks.
+//! - [`catocs`] — the ISIS-style CATOCS toolkit the paper critiques.
+//! - [`statelevel`] — the state-level alternatives the paper advocates.
+//! - [`txn`] — the transactional substrate (2PL, 2PC, OCC, replication).
+//! - [`apps`] — the paper's application scenarios (trading, shop floor,
+//!   fire monitor, netnews, drilling, RPC deadlock, oven monitoring).
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! per-figure reproduction record.
+
+pub use apps;
+pub use catocs;
+pub use clocks;
+pub use simnet;
+pub use statelevel;
+pub use txn;

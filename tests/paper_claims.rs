@@ -1,0 +1,113 @@
+//! The paper's four limitations, asserted end to end through the public
+//! experiment API. Each test states the claim it reproduces.
+
+use bench::experiments as ex;
+
+/// Limitation 1 — "can't say for sure": hidden channels defeat CATOCS;
+/// state-level version numbers do not care about delivery order.
+#[test]
+fn limitation_1_hidden_channels() {
+    let t = ex::f2::run(30);
+    assert!(t.get_f64(0, 2) > 0.0, "misordering occurs");
+    assert!(t.get_f64(0, 3) > 0.0, "naive state corrupted");
+    assert_eq!(t.get_f64(1, 3), 0.0, "versioned state never corrupted");
+}
+
+/// Limitation 1 again, external channel flavor (Figure 3), under causal
+/// AND total order.
+#[test]
+fn limitation_1_external_channels() {
+    let t = ex::f3::run(30);
+    for row in 0..2 {
+        assert!(t.get_f64(row, 2) > 0.0);
+        assert_eq!(t.get_f64(row, 4), 0.0, "rt-stamp belief always right");
+    }
+}
+
+/// Limitation 3 — "can't say the whole story": semantic constraints
+/// stronger than happens-before (Figure 4) survive every discipline.
+#[test]
+fn limitation_3_semantic_constraints() {
+    let t = ex::f4::run(3);
+    for row in 0..3 {
+        assert!(
+            t.get_f64(row, 2) > 0.0,
+            "false crossings under discipline row {row}"
+        );
+    }
+    for row in 3..5 {
+        assert_eq!(t.get_f64(row, 2), 0.0, "dependency field fixes it");
+    }
+}
+
+/// Limitation 2 — "can't say together": a participant can refuse a
+/// prepare; 2PC aborts everywhere; no partial application. And the §2
+/// durability gap: k=0 cbcast loses updates on sender failure.
+#[test]
+fn limitation_2_and_durability() {
+    let crash = ex::t8::run_cbcast_path(1, 0, Some(8));
+    assert!(crash.lost > 0, "asynchronous cbcast loses updates");
+    let tpc = ex::t8::run_twopc_path(1, Some(8));
+    assert_eq!(tpc.lost, 0, "2PC replicas stay consistent");
+}
+
+/// Limitation 4 — "can't say efficiently": per-message overhead grows
+/// with N; false causality delays independent messages.
+#[test]
+fn limitation_4_efficiency() {
+    let t = ex::t7::run(&[4, 64]);
+    let small = t.get_f64(0, 2);
+    let large = t.get_f64(1, 2);
+    assert!(large > small * 5.0, "vt header grows linearly with N");
+
+    let fc = ex::t6::measure(3, 8);
+    assert!(fc.held > 0);
+    assert!(
+        fc.falsely_held * 2 >= fc.held,
+        "most holdback is false causality"
+    );
+}
+
+/// §5 — buffering grows superlinearly in aggregate.
+#[test]
+fn section_5_scalability() {
+    let small = ex::t5::measure(1, 4);
+    let large = ex::t5::measure(1, 16);
+    // System-wide buffered messages = N × per-node mean.
+    let sys_small = small.buf_peak_mean * 4.0;
+    let sys_large = large.buf_peak_mean * 16.0;
+    assert!(
+        sys_large > 4.0 * sys_small,
+        "system buffering superlinear: {sys_small} -> {sys_large}"
+    );
+    assert!(large.arcs_per_msg > small.arcs_per_msg);
+}
+
+/// §4.2 / appendix — deadlock detection needs no CATOCS and costs less.
+#[test]
+fn deadlock_detection_without_catocs() {
+    let t = ex::t9::run(&[6]);
+    let vr = t.get_f64(0, 2);
+    let st = t.get_f64(1, 2);
+    assert!(st < vr, "reports {st} messages vs causal {vr}");
+}
+
+/// Appendix 9.1 — drilling traffic shapes.
+#[test]
+fn drilling_traffic_shapes() {
+    let t = ex::t10::run(&[2, 8]);
+    let central_growth = t.get_f64(1, 1) / t.get_f64(0, 1);
+    let dist_growth = t.get_f64(1, 3) / t.get_f64(0, 3);
+    assert!(central_growth < 1.5);
+    assert!(dist_growth > 3.0);
+}
+
+/// §4.2 — stable predicates on a consistent cut over plain channels.
+#[test]
+fn global_predicates_on_plain_channels() {
+    let healthy = ex::t14::run_snapshot(9, 5, false, 600);
+    assert_eq!(healthy.tokens_found, 1);
+    assert_eq!(healthy.terminated, Some(true));
+    let lost = ex::t14::run_snapshot(9, 5, true, 600);
+    assert_eq!(lost.tokens_found, 0);
+}
