@@ -197,10 +197,7 @@ impl CellController {
     }
 
     fn next_hole(&mut self) -> Option<u32> {
-        let h = self
-            .holes
-            .iter()
-            .position(|s| *s == HoleState::Undrilled)?;
+        let h = self.holes.iter().position(|s| *s == HoleState::Undrilled)?;
         Some(h as u32)
     }
 
@@ -407,9 +404,7 @@ mod tests {
 
     #[test]
     fn backup_mirrors_state() {
-        let mut sim = SimBuilder::new(3)
-            .net(net())
-            .build::<CellMsg>();
+        let mut sim = SimBuilder::new(3).net(net()).build::<CellMsg>();
         let driller_pids = vec![ProcessId(2)];
         sim.add_process(CellController::new(driller_pids, Some(ProcessId(1)), 5));
         sim.add_process(BackupController::default());
@@ -423,9 +418,6 @@ mod tests {
         sim.run_until(SimTime::from_secs(5));
         let b: &BackupController = sim.process(ProcessId(1)).unwrap();
         assert_eq!(b.mirrored.len(), 5);
-        assert!(b
-            .mirrored
-            .values()
-            .all(|s| *s == HoleState::Completed));
+        assert!(b.mirrored.values().all(|s| *s == HoleState::Completed));
     }
 }

@@ -182,12 +182,7 @@ pub fn run_naming(seed: u64, n: usize, names: u64, loss: f64) -> NamingResult {
                 mine.push((name, 2000 + me as u64));
             }
         }
-        sim.add_process(DirReplica::new(
-            me,
-            n,
-            mine,
-            SimDuration::from_millis(25),
-        ));
+        sim.add_process(DirReplica::new(me, n, mine, SimDuration::from_millis(25)));
     }
     sim.run_until(SimTime::from_secs(20));
     let dirs: Vec<BTreeMap<u64, Binding>> = (0..n)

@@ -116,8 +116,7 @@ impl Process<Article> for NewsNode {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Article>, _from: ProcessId, msg: Article) {
-        let respond = msg.reference.is_none()
-            && ctx.rng().gen_bool(self.response_probability);
+        let respond = msg.reference.is_none() && ctx.rng().gen_bool(self.response_probability);
         let inquiry_id = msg.id;
         self.ingest(msg);
         if respond {

@@ -60,10 +60,9 @@ impl Staleness {
 
     /// Mean age.
     pub fn mean(&self) -> SimDuration {
-        if self.samples == 0 {
-            SimDuration::ZERO
-        } else {
-            SimDuration::from_micros(self.total_us / self.samples)
+        match self.total_us.checked_div(self.samples) {
+            None => SimDuration::ZERO,
+            Some(mean) => SimDuration::from_micros(mean),
         }
     }
 

@@ -459,9 +459,7 @@ impl StateServer {
                         chain,
                     },
                 ),
-                RpcAction::Return { to } => {
-                    ctx.send(ProcessId(to.proc), StateMsg::Return { to })
-                }
+                RpcAction::Return { to } => ctx.send(ProcessId(to.proc), StateMsg::Return { to }),
             }
         }
     }

@@ -116,8 +116,9 @@ impl Process<ShopMsg> for SfcInstance {
                 ctx.send(self.db, ShopMsg::DbWrite { stop });
             }
             ShopMsg::DbReply { stop, version } => {
-                let (_self_delivery, out) =
-                    self.endpoint.multicast(ctx.now(), LotUpdate { stop, version });
+                let (_self_delivery, out) = self
+                    .endpoint
+                    .multicast(ctx.now(), LotUpdate { stop, version });
                 route(ctx, self.me, out);
                 if let Some(client) = self.client {
                     ctx.send(client, ShopMsg::RequestReply);
@@ -307,7 +308,7 @@ mod tests {
     /// observer is wide and jittery.
     fn jittery() -> NetConfig {
         const W: f64 = 30.0; // substrate distance
-        // P0=SFC1, P1=SFC2, P2=DB, P3=client, P4=observer.
+                             // P0=SFC1, P1=SFC2, P2=DB, P3=client, P4=observer.
         let dist = vec![
             vec![0.0, W, 1.0, 1.0, W],
             vec![W, 0.0, 1.0, 1.0, W],
@@ -333,9 +334,8 @@ mod tests {
         let mut naive_wrong = 0;
         for seed in 0..40 {
             let r = run_shopfloor(seed, jittery());
-            assert_eq!(
+            assert!(
                 r.naive_final_stopped.is_some(),
-                true,
                 "observer saw updates (seed {seed})"
             );
             if r.misordered {

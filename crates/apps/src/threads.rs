@@ -87,14 +87,17 @@ impl Process<Wire<CounterUpdate>> for ThreadedServer {
                 value: self.counter,
                 version: self.version,
             });
-            let lag = SimDuration::from_micros(
-                ctx.rng().gen_range(0..=self.max_lag.as_micros()),
-            );
+            let lag = SimDuration::from_micros(ctx.rng().gen_range(0..=self.max_lag.as_micros()));
             ctx.set_timer(TimerId(THREAD_SEND_BASE + thread as u64), lag);
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Wire<CounterUpdate>>, _f: ProcessId, m: Wire<CounterUpdate>) {
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, Wire<CounterUpdate>>,
+        _f: ProcessId,
+        m: Wire<CounterUpdate>,
+    ) {
         let (_d, out) = self.endpoint.on_wire(ctx.now(), m);
         self.route(ctx, out);
     }
@@ -134,7 +137,12 @@ impl Process<Wire<CounterUpdate>> for ThreadObserver {
         ctx.set_timer(TICK, SimDuration::from_millis(5));
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Wire<CounterUpdate>>, _f: ProcessId, m: Wire<CounterUpdate>) {
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, Wire<CounterUpdate>>,
+        _f: ProcessId,
+        m: Wire<CounterUpdate>,
+    ) {
         let (dels, out) = self.endpoint.on_wire(ctx.now(), m);
         for d in dels {
             self.naive_value = Some(d.payload.value);
@@ -174,7 +182,9 @@ pub struct ThreadsResult {
 /// Runs the two-thread scenario once. `max_lag` is the scheduling delay
 /// bound between a shared-memory write and its multicast.
 pub fn run_threads(seed: u64, max_lag: SimDuration, net: NetConfig) -> ThreadsResult {
-    let mut sim = SimBuilder::new(seed).net(net).build::<Wire<CounterUpdate>>();
+    let mut sim = SimBuilder::new(seed)
+        .net(net)
+        .build::<Wire<CounterUpdate>>();
     let cfg = GroupConfig::default();
     sim.add_process(ThreadedServer {
         endpoint: CbcastEndpoint::new(0, 2, cfg.clone()),
@@ -193,11 +203,7 @@ pub fn run_threads(seed: u64, max_lag: SimDuration, net: NetConfig) -> ThreadsRe
     // Truth: thread 0 wrote 100, thread 1 then wrote 201 → counter 201.
     let truth = 201;
     let obs: &ThreadObserver = sim.process(ProcessId(1)).expect("observer");
-    let inverted = obs
-        .delivered
-        .first()
-        .map(|&(v, _)| v != 1)
-        .unwrap_or(false);
+    let inverted = obs.delivered.first().map(|&(v, _)| v != 1).unwrap_or(false);
     ThreadsResult {
         inverted,
         naive_value: obs.naive_value,
@@ -251,7 +257,11 @@ mod tests {
 
     #[test]
     fn no_lag_no_inversion() {
-        let r = run_threads(1, SimDuration::ZERO, NetConfig::ideal(SimDuration::from_millis(1)));
+        let r = run_threads(
+            1,
+            SimDuration::ZERO,
+            NetConfig::ideal(SimDuration::from_millis(1)),
+        );
         assert!(!r.inverted);
         assert_eq!(r.naive_value, Some(r.truth));
     }

@@ -68,7 +68,7 @@ impl GroupApp<TickerMsg> for OptionServer {
         }
         self.remaining -= 1;
         self.version += 1;
-        self.cents += ctx.rng.gen_range(-40..=60);
+        self.cents += ctx.rng.gen_range(-40i64..=60);
         vec![TickerMsg::OptionPrice {
             version: self.version,
             cents: self.cents,
@@ -253,10 +253,7 @@ pub fn run_trading(
     let node = sim
         .process::<GroupNode<TickerMsg, Box<dyn TradingRole>>>(members[2])
         .expect("monitor node");
-    let monitor = node
-        .app()
-        .as_monitor()
-        .expect("member 2 is the monitor");
+    let monitor = node.app().as_monitor().expect("member 2 is the monitor");
     TradingResult {
         false_crossings: monitor.false_crossings,
         suppressed_stale: monitor.suppressed_stale,

@@ -50,8 +50,7 @@ fn bench_cbcast_receive(c: &mut Criterion) {
     for &n in SIZES {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             // Pre-generate a long in-order stream from a peer sender.
-            let mut sender: CbcastEndpoint<u64> =
-                CbcastEndpoint::new(1, n, GroupConfig::default());
+            let mut sender: CbcastEndpoint<u64> = CbcastEndpoint::new(1, n, GroupConfig::default());
             let msgs: Vec<Wire<u64>> = (0..10_000u64)
                 .map(|i| {
                     let (_, out) = sender.multicast(SimTime::from_micros(i), i);
@@ -78,10 +77,59 @@ fn bench_cbcast_receive(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_cbcast_receive_out_of_order(c: &mut Criterion) {
+    // Receive path under holdback pressure: one sender's FIFO stream
+    // arriving in reversed chunks, so the queue repeatedly fills to the
+    // chunk size and cascades empty. Compares the linear-scan holdback
+    // against the indexed wait-count/ready-queue one (T7+'s work counter,
+    // here as wall-clock).
+    const CHUNK: usize = 512;
+    let mut g = c.benchmark_group("cbcast_receive_reversed_chunks");
+    for indexed in [false, true] {
+        let label = if indexed { "indexed" } else { "scan" };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &indexed,
+            |b, &indexed| {
+                let n = 16;
+                let cfg = GroupConfig {
+                    indexed_holdback: indexed,
+                    ..GroupConfig::default()
+                };
+                let mut sender: CbcastEndpoint<u64> = CbcastEndpoint::new(1, n, cfg.clone());
+                let mut msgs: Vec<Wire<u64>> = (0..10_000u64)
+                    .map(|i| {
+                        let (_, out) = sender.multicast(SimTime::from_micros(i), i);
+                        out.into_iter()
+                            .find_map(|(d, w)| (d == Dest::All).then_some(w))
+                            .expect("data message")
+                    })
+                    .collect();
+                for chunk in msgs.chunks_mut(CHUNK) {
+                    chunk.reverse();
+                }
+                let mut receiver: CbcastEndpoint<u64> = CbcastEndpoint::new(0, n, cfg.clone());
+                let mut i = 0usize;
+                b.iter(|| {
+                    if i == msgs.len() {
+                        receiver = CbcastEndpoint::new(0, n, cfg.clone());
+                        i = 0;
+                    }
+                    let r = receiver.on_wire(SimTime::from_micros(i as u64), msgs[i].clone());
+                    i += 1;
+                    black_box(r)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_cbcast_send,
     bench_fbcast_send,
-    bench_cbcast_receive
+    bench_cbcast_receive,
+    bench_cbcast_receive_out_of_order
 );
 criterion_main!(benches);

@@ -53,7 +53,10 @@ fn bench_occ_validation(c: &mut Criterion) {
                 t += 1;
                 black_box(v.validate(
                     TxId(t),
-                    TotalStamp { time: t - 1, node: 1 },
+                    TotalStamp {
+                        time: t - 1,
+                        node: 1,
+                    },
                     TotalStamp { time: t, node: 1 },
                     &reads,
                     &writes,

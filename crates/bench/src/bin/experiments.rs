@@ -10,7 +10,7 @@ use bench::experiments as ex;
 
 fn print_usage() {
     eprintln!(
-        "usage: experiments [all|list|f1|f2|f3|f4|t5|t6|t7|t8|t9|t10|t11|t12|t13|t14|t15|t16|ablate]..."
+        "usage: experiments [all|list|f1|f2|f3|f4|t5|t6|t7|t7plus|t8|t9|t10|t11|t12|t13|t14|t15|t16|ablate]..."
     );
 }
 
@@ -24,8 +24,8 @@ fn main() {
         match arg.as_str() {
             "list" => {
                 println!(
-                    "f1 f2 f3 f4 — figures; t5..t16 — quantitative claims; \
-                     ablate — design ablations; all"
+                    "f1 f2 f3 f4 — figures; t5..t16, t7plus — quantitative \
+                     claims; ablate — design ablations; all"
                 );
             }
             "all" => {
@@ -44,6 +44,7 @@ fn main() {
             "t5" => println!("{}", ex::t5::run(&[4, 8, 16, 32, 48])),
             "t6" => println!("{}", ex::t6::run(&[4, 8, 16, 32])),
             "t7" => println!("{}", ex::t7::run(&[4, 8, 16, 32, 64, 128, 256])),
+            "t7plus" => println!("{}", ex::t7plus::run(&[4, 16, 64, 256])),
             "t8" => println!("{}", ex::t8::run()),
             "t9" => println!("{}", ex::t9::run(&[4, 8, 12])),
             "t10" => println!("{}", ex::t10::run(&[2, 4, 8, 16])),

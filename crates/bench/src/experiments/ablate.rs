@@ -126,7 +126,14 @@ pub fn piggyback_acks() -> Table {
             piggyback_acks: piggyback,
             ..GroupConfig::default()
         };
-        let s = run_group(3, 8, Discipline::Causal, cfg, 40, SimDuration::from_millis(8));
+        let s = run_group(
+            3,
+            8,
+            Discipline::Causal,
+            cfg,
+            40,
+            SimDuration::from_millis(8),
+        );
         t.row(vec![
             name.into(),
             s.delivered.into(),
@@ -144,7 +151,12 @@ pub fn piggyback_acks() -> Table {
 pub fn partitioning() -> Table {
     let mut t = Table::new(
         "A3 — ablation: causal-domain partitioning (same total traffic)",
-        &["configuration", "delivered", "held", "buffered peak (mean/node)"],
+        &[
+            "configuration",
+            "delivered",
+            "held",
+            "buffered peak (mean/node)",
+        ],
     );
     // One group of 16.
     let s = run_group(
@@ -215,7 +227,11 @@ const DTICK: TimerId = TimerId(0);
 const DAPP: TimerId = TimerId(1);
 
 impl DomainNode {
-    fn route(&self, ctx: &mut Ctx<'_, Wire<Addressed<u32>>>, out: Vec<(Dest, Wire<Addressed<u32>>)>) {
+    fn route(
+        &self,
+        ctx: &mut Ctx<'_, Wire<Addressed<u32>>>,
+        out: Vec<(Dest, Wire<Addressed<u32>>)>,
+    ) {
         for (dest, w) in out {
             match dest {
                 Dest::All => {
@@ -311,8 +327,7 @@ fn run_domain(seed: u64, n_domain: usize, groups: usize, msgs: u32) -> GroupStat
         let node: &DomainNode = sim.process(ProcessId(me)).expect("node");
         s.delivered += node.delivered;
         s.held += node.held;
-        s.buffered_peak_mean +=
-            sim.metrics().gauge(&format!("domain.buf.{me}")) / n_domain as f64;
+        s.buffered_peak_mean += sim.metrics().gauge(&format!("domain.buf.{me}")) / n_domain as f64;
     }
     s
 }
@@ -322,7 +337,13 @@ fn run_domain(seed: u64, n_domain: usize, groups: usize, msgs: u32) -> GroupStat
 pub fn append_predecessors() -> Table {
     let mut t = Table::new(
         "A4 — ablation: append causal predecessors vs holdback+NACK (N=8, causal, 8% loss)",
-        &["recovery", "delivered", "held", "mean hold ms", "data overhead bytes"],
+        &[
+            "recovery",
+            "delivered",
+            "held",
+            "mean hold ms",
+            "data overhead bytes",
+        ],
     );
     for (name, append) in [("holdback + NACK", false), ("append predecessors", true)] {
         let cfg = GroupConfig {

@@ -58,7 +58,10 @@ pub fn run(seed: u64) -> (Table, String) {
         },
         ..NetConfig::default()
     };
-    let mut sim = SimBuilder::new(seed).net(net).trace().build::<Wire<String>>();
+    let mut sim = SimBuilder::new(seed)
+        .net(net)
+        .trace()
+        .build::<Wire<String>>();
     let members = spawn_group(
         &mut sim,
         3,
@@ -94,7 +97,7 @@ pub fn run(seed: u64) -> (Table, String) {
         };
         m34_orders.push(m34.to_string());
         table.row(vec![
-            format!("{}", ["P", "Q", "R"][i]).into(),
+            ["P", "Q", "R"][i].to_string().into(),
             order.join(" ").into(),
             if m1_before_m2 { "yes" } else { "NO" }.into(),
             m34.into(),

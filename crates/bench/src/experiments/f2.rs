@@ -51,7 +51,12 @@ pub fn run(seeds: u64) -> Table {
     }
     let mut t = Table::new(
         "F2 — Figure 2: hidden channel (shared database), start/stop lot",
-        &["observer strategy", "runs", "misordered", "wrong final state"],
+        &[
+            "observer strategy",
+            "runs",
+            "misordered",
+            "wrong final state",
+        ],
     );
     t.row(vec![
         "cbcast delivery order (naive)".into(),

@@ -77,7 +77,8 @@ impl MemberNode {
     fn handle_action(&mut self, ctx: &mut Ctx<'_, Wire<u64>>, action: FlushAction) {
         if action == FlushAction::RetransmitUnstable {
             let flushed = self.endpoint.flush_unstable();
-            ctx.metrics().incr("t11.flush_retransmits", flushed.len() as u64);
+            ctx.metrics()
+                .incr("t11.flush_retransmits", flushed.len() as u64);
             self.route(ctx, flushed);
         }
     }

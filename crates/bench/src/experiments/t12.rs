@@ -27,7 +27,13 @@ fn jittery(drop: f64) -> NetConfig {
 pub fn run() -> Table {
     let mut t = Table::new(
         "T12 — §4.1 Netnews: reader-cache state vs per-inquiry causal groups",
-        &["configuration", "articles", "out-of-order", "pending", "state (items/bytes)"],
+        &[
+            "configuration",
+            "articles",
+            "out-of-order",
+            "pending",
+            "state (items/bytes)",
+        ],
     );
     for (label, drop) in [("flood, lossless", 0.0), ("flood, 20% loss", 0.2)] {
         let r = run_netnews(3, 8, 4, 0.4, jittery(drop));

@@ -270,7 +270,13 @@ pub fn run_snapshot(seed: u64, n: usize, lose_token: bool, snapshot_ms: u64) -> 
 pub fn run() -> Table {
     let mut t = Table::new(
         "T14 — §4.2: stable predicates on a Chandy–Lamport cut (ring of 5, no CATOCS)",
-        &["scenario", "tokens on cut", "terminated?", "reports", "messages"],
+        &[
+            "scenario",
+            "tokens on cut",
+            "terminated?",
+            "reports",
+            "messages",
+        ],
     );
     for (label, lose, at) in [
         ("healthy ring, late cut", false, 600u64),

@@ -90,9 +90,7 @@ pub fn measure(seed: u64, n: usize) -> ScalePoint {
         },
     );
     for &m in &members {
-        let node = sim
-            .process_mut::<GroupNode<u32, Chatter>>(m)
-            .expect("node");
+        let node = sim.process_mut::<GroupNode<u32, Chatter>>(m).expect("node");
         node.keep_log = false;
         node.graph = Some(graph.clone());
     }

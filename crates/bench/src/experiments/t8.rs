@@ -93,16 +93,14 @@ impl Process<Wire<u64>> for CbPrimary {
                 self.done += ready.len() as u32;
                 ctx.set_timer(TICK, SimDuration::from_millis(10));
             }
-            WRITE_TICK => {
-                if self.writes_left > 0 {
-                    self.writes_left -= 1;
-                    self.next_val += 1;
-                    let (d, out) = self.endpoint.multicast(ctx.now(), self.next_val);
-                    self.applied.push(self.next_val);
-                    self.tracker.register(d.id, ctx.now());
-                    route_cb(ctx, 0, REPLICAS, out);
-                    ctx.set_timer(WRITE_TICK, PERIOD);
-                }
+            WRITE_TICK if self.writes_left > 0 => {
+                self.writes_left -= 1;
+                self.next_val += 1;
+                let (d, out) = self.endpoint.multicast(ctx.now(), self.next_val);
+                self.applied.push(self.next_val);
+                self.tracker.register(d.id, ctx.now());
+                route_cb(ctx, 0, REPLICAS, out);
+                ctx.set_timer(WRITE_TICK, PERIOD);
             }
             _ => {}
         }
@@ -355,8 +353,7 @@ pub fn run_twopc_path(seed: u64, fail_after: Option<u32>) -> TpcRun {
         }
     }
     for p in 0..REPLICAS {
-        let part: &mut TpcParticipant =
-            sim.process_mut(ProcessId(1 + p)).expect("participant");
+        let part: &mut TpcParticipant = sim.process_mut(ProcessId(1 + p)).expect("participant");
         for tx in part.inner.in_doubt_txs() {
             if let Some(&commit) = outcomes.get(&tx) {
                 part.inner.resolve(tx, commit);
@@ -376,8 +373,7 @@ pub fn run_twopc_path(seed: u64, fail_after: Option<u32>) -> TpcRun {
     for key in 1..=(WRITES as u64) {
         let have: Vec<bool> = (0..REPLICAS)
             .map(|p| {
-                let part: &TpcParticipant =
-                    sim.process(ProcessId(1 + p)).expect("participant");
+                let part: &TpcParticipant = sim.process(ProcessId(1 + p)).expect("participant");
                 part.inner.get(key).is_some()
             })
             .collect();
@@ -423,9 +419,9 @@ impl Process<ReplWire> for WaaCoordinator {
         if self.writes_left > 0 {
             self.writes_left -= 1;
             self.next += 1;
-            let msgs = self
-                .inner
-                .begin_write(self.next, self.next, self.next as i64, None, ctx.now());
+            let msgs =
+                self.inner
+                    .begin_write(self.next, self.next, self.next as i64, None, ctx.now());
             self.issued.insert(self.next, ctx.now());
             for (r, m) in msgs {
                 ctx.send(ProcessId(1 + r), m);
@@ -522,9 +518,7 @@ pub fn run_waa_path(seed: u64, fail_replica: bool) -> WaaRun {
 /// Runs the full comparison table.
 pub fn run() -> Table {
     let mut t = Table::new(
-        format!(
-            "T8 — §4.3/4.4 replicated update: {REPLICAS} replicas, {WRITES} writes, 2% loss"
-        ),
+        format!("T8 — §4.3/4.4 replicated update: {REPLICAS} replicas, {WRITES} writes, 2% loss"),
         &[
             "path",
             "mean write latency ms",

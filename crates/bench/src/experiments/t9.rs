@@ -29,7 +29,12 @@ pub fn run(sizes: &[usize]) -> Table {
             "van Renesse (cbcast)".into(),
             servers.into(),
             vr.net_sent.into(),
-            if vr.detected_at.is_some() { "yes" } else { "NO" }.into(),
+            if vr.detected_at.is_some() {
+                "yes"
+            } else {
+                "NO"
+            }
+            .into(),
             vr.detected_at
                 .map(|x| x.as_micros() as f64 / 1000.0)
                 .unwrap_or(f64::NAN)
@@ -46,7 +51,12 @@ pub fn run(sizes: &[usize]) -> Table {
             "state-level reports".into(),
             servers.into(),
             st.net_sent.into(),
-            if st.detected_at.is_some() { "yes" } else { "NO" }.into(),
+            if st.detected_at.is_some() {
+                "yes"
+            } else {
+                "NO"
+            }
+            .into(),
             st.detected_at
                 .map(|x| x.as_micros() as f64 / 1000.0)
                 .unwrap_or(f64::NAN)

@@ -30,6 +30,10 @@ pub struct AbcastEndpoint<P> {
     next_assign: u64,
     /// Known order assignments gseq → msg.
     order: BTreeMap<u64, MsgId>,
+    /// Highest gseq G such that every assignment 1..=G is in `order`.
+    /// Entries are never removed, so this only advances; it makes the
+    /// per-tick order-gap check O(1) amortized instead of O(gap).
+    order_contiguous: u64,
     /// Reverse map for diagnostics.
     ordered: HashMap<MsgId, u64>,
     /// Causally delivered but not yet released in total order.
@@ -52,6 +56,7 @@ impl<P: Clone> AbcastEndpoint<P> {
             sequencer,
             next_assign: 0,
             order: BTreeMap::new(),
+            order_contiguous: 0,
             ordered: HashMap::new(),
             unreleased: HashMap::new(),
             released: 0,
@@ -93,7 +98,8 @@ impl<P: Clone> AbcastEndpoint<P> {
     pub fn multicast(&mut self, now: SimTime, payload: P) -> (Vec<Delivery<P>>, Vec<Out<P>>) {
         let (self_delivery, mut out) = self.cb.multicast(now, payload);
         self.stats.sent += 1;
-        self.unreleased.insert(self_delivery.id, self_delivery.clone());
+        self.unreleased
+            .insert(self_delivery.id, self_delivery.clone());
         if self.is_sequencer() {
             self.assign_order(self_delivery.id, &mut out);
         }
@@ -108,6 +114,7 @@ impl<P: Clone> AbcastEndpoint<P> {
             Wire::Order { gseq, id } => {
                 self.order.entry(gseq).or_insert(id);
                 self.ordered.entry(id).or_insert(gseq);
+                self.advance_order_watermark();
             }
             Wire::OrderNack {
                 from,
@@ -161,7 +168,7 @@ impl<P: Clone> AbcastEndpoint<P> {
         if let Some((&max_known, _)) = self.order.iter().next_back() {
             if max_known > self.released {
                 let gap_start = self.released + 1;
-                let missing = (gap_start..=max_known).any(|g| !self.order.contains_key(&g));
+                let missing = max_known > self.order_contiguous;
                 let overdue = match self.last_order_nack {
                     None => true,
                     Some(t) => now.saturating_since(t) >= self.cfg.nack_timeout,
@@ -190,9 +197,16 @@ impl<P: Clone> AbcastEndpoint<P> {
         let gseq = self.next_assign;
         self.order.insert(gseq, id);
         self.ordered.insert(id, gseq);
+        self.advance_order_watermark();
         let w: Wire<P> = Wire::Order { gseq, id };
         self.stats.control_bytes += w.overhead_bytes() as u64;
         out.push((Dest::All, w));
+    }
+
+    fn advance_order_watermark(&mut self) {
+        while self.order.contains_key(&(self.order_contiguous + 1)) {
+            self.order_contiguous += 1;
+        }
     }
 
     /// Releases every message whose global slot is next and whose data
@@ -322,11 +336,7 @@ mod tests {
         // Senders' own releases come back through Order messages too; at
         // minimum every member that released anything released a prefix
         // of the same global sequence.
-        let reference: Vec<(u64, &str)> = orders
-            .iter()
-            .max_by_key(|v| v.len())
-            .cloned()
-            .unwrap();
+        let reference: Vec<(u64, &str)> = orders.iter().max_by_key(|v| v.len()).cloned().unwrap();
         for o in &orders {
             assert_eq!(&reference[..o.len()], &o[..], "same total order everywhere");
         }
@@ -368,7 +378,9 @@ mod tests {
         // Delivering the original order releases both in order.
         let (dels, _) = eps[1].on_wire(t(5), order.1);
         assert_eq!(
-            dels.iter().map(|d| (d.gseq.unwrap(), d.payload)).collect::<Vec<_>>(),
+            dels.iter()
+                .map(|d| (d.gseq.unwrap(), d.payload))
+                .collect::<Vec<_>>(),
             vec![(1, "m1"), (2, "m2")]
         );
     }

@@ -25,9 +25,7 @@ use simnet::time::SimTime;
 use std::collections::BTreeSet;
 
 /// Identifies a group within a domain.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct GroupId(pub u32);
 
 /// A payload tagged with its destination group.

@@ -106,13 +106,7 @@ impl<P: Clone> FbcastEndpoint<P> {
         // vector-clock slot for uniform wire format but zero the rest.
         let mut vt = VectorClock::new(self.n);
         vt.set(self.me, self.next_seq);
-        let msg = DataMsg {
-            id,
-            vt,
-            payload: payload.clone(),
-            retransmit: false,
-            appended: Vec::new(),
-        };
+        let msg = DataMsg::new(id, vt, payload.clone());
         self.streams[self.me].delivered = self.next_seq;
         self.acked_by[self.me] = self.next_seq;
         self.sent_buffer.insert(self.next_seq, msg.clone());
@@ -332,7 +326,10 @@ mod tests {
         assert!(d.is_empty());
         assert!(nacks.iter().any(|(_, w)| matches!(w, Wire::Nack { .. })));
         let (d, _) = b.on_wire(t(3), data_of(&o1));
-        assert_eq!(d.iter().map(|x| x.payload).collect::<Vec<_>>(), vec!["m1", "m2"]);
+        assert_eq!(
+            d.iter().map(|x| x.payload).collect::<Vec<_>>(),
+            vec!["m1", "m2"]
+        );
         assert!(d[1].was_held());
     }
 
@@ -387,7 +384,10 @@ mod tests {
             .find(|(_, w)| matches!(w, Wire::Data(d) if d.retransmit))
             .unwrap();
         let (d, _) = b.on_wire(t(4), retrans.1);
-        assert_eq!(d.iter().map(|x| x.payload).collect::<Vec<_>>(), vec!["m1", "m2"]);
+        assert_eq!(
+            d.iter().map(|x| x.payload).collect::<Vec<_>>(),
+            vec!["m1", "m2"]
+        );
         let _ = o1;
     }
 
@@ -416,6 +416,8 @@ mod tests {
         let (_, o2) = a.multicast(t(1), "m2");
         b.on_wire(t(2), data_of(&o2));
         let out = b.on_tick(t(2) + cfg.nack_timeout);
-        assert!(out.iter().any(|(d, w)| matches!(w, Wire::Nack { .. }) && *d == Dest::One(0)));
+        assert!(out
+            .iter()
+            .any(|(d, w)| matches!(w, Wire::Nack { .. }) && *d == Dest::One(0)));
     }
 }

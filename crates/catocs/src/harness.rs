@@ -200,9 +200,7 @@ impl<P: Clone + std::fmt::Debug + 'static, A: GroupApp<P>> GroupNode<P, A> {
     }
 }
 
-impl<P: Clone + std::fmt::Debug + 'static, A: GroupApp<P>> Process<Wire<P>>
-    for GroupNode<P, A>
-{
+impl<P: Clone + std::fmt::Debug + 'static, A: GroupApp<P>> Process<Wire<P>> for GroupNode<P, A> {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Wire<P>>) {
         ctx.set_timer(PROTO_TICK, self.cfg.tick_interval);
         if let Some(t) = self.app_tick {
@@ -239,6 +237,10 @@ impl<P: Clone + std::fmt::Debug + 'static, A: GroupApp<P>> Process<Wire<P>>
                 ctx.set_timer(PROTO_TICK, self.cfg.tick_interval);
                 ctx.metrics()
                     .gauge_max("group.buffered_peak", self.endpoint.buffered_len() as f64);
+                ctx.metrics().set_gauge(
+                    "group.holdback_work",
+                    self.endpoint.transport_stats().holdback_work as f64,
+                );
                 if self.me == 0 {
                     if let (Some(graph), Some(frontier)) =
                         (&self.graph, self.endpoint.stable_frontier())

@@ -1,0 +1,383 @@
+//! Holdback-queue implementations for the causal delivery hot path.
+//!
+//! The holdback queue is where cbcast pays (or avoids paying) the paper's
+//! §3.4 per-message overhead on the *receive* side: every wire event asks
+//! "is anything deliverable now?" and "have I already got this message?".
+//!
+//! Two implementations share one interface so experiments can compare
+//! them directly (T7+) and tests can assert behavioural equivalence:
+//!
+//! - [`HoldbackQueue::Scan`] — the naive structure: a `Vec` of pending
+//!   messages, membership by linear scan, and a rescan-from-scratch drain.
+//!   O(H) per event, O(H²) per cascade drain.
+//! - [`HoldbackQueue::Indexed`] — a `HashMap` by id plus a wait-count /
+//!   ready-queue scheme: each pending message counts how many of its
+//!   direct causal predecessors are undelivered; delivering a message
+//!   decrements exactly the messages waiting on it and promotes the newly
+//!   ready ones. Amortized O(deps) per event, independent of H.
+//!
+//! Both deliver in *arrival order among deliverable messages* (the scan
+//! picks the earliest-arrived deliverable; the index pops a min-heap keyed
+//! by arrival number), so their delivery sequences are identical — a
+//! property the `cbcast` proptests pin down.
+//!
+//! Every structural step (entries examined, registrations, promotions,
+//! heap operations) is counted in [`HoldbackQueue::work`]; the T7+
+//! experiment reads the counter through `simnet::metrics` to show the
+//! scan's per-event work growing linearly with holdback size while the
+//! index stays flat.
+
+use crate::group::MsgId;
+use crate::wire::DataMsg;
+use clocks::vector::VectorClock;
+use simnet::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// A message sitting in the holdback queue.
+#[derive(Debug)]
+pub struct Pending<P> {
+    /// The data message awaiting its causal predecessors.
+    pub msg: DataMsg<P>,
+    /// When it physically arrived.
+    pub arrived_at: SimTime,
+}
+
+/// A holdback queue: either the naive scan structure or the indexed
+/// wait-count scheme. See the module docs for the comparison.
+#[derive(Debug)]
+pub enum HoldbackQueue<P> {
+    /// Linear-scan baseline.
+    Scan(ScanHoldback<P>),
+    /// HashMap + wait-count/ready-heap.
+    Indexed(IndexedHoldback<P>),
+}
+
+impl<P> HoldbackQueue<P> {
+    /// Creates a queue of the requested kind for a group of `n`.
+    pub fn new(indexed: bool, n: usize) -> Self {
+        if indexed {
+            HoldbackQueue::Indexed(IndexedHoldback::new(n))
+        } else {
+            HoldbackQueue::Scan(ScanHoldback::new(n))
+        }
+    }
+
+    /// Number of messages currently held.
+    pub fn len(&self) -> usize {
+        match self {
+            HoldbackQueue::Scan(q) => q.items.len(),
+            HoldbackQueue::Indexed(q) => q.entries.len(),
+        }
+    }
+
+    /// Whether nothing is held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `id` is currently held. (`&mut` because even a membership
+    /// probe is work the scan structure pays for — and we count it.)
+    pub fn contains(&mut self, id: MsgId) -> bool {
+        match self {
+            HoldbackQueue::Scan(q) => {
+                let pos = q.items.iter().position(|p| p.msg.id == id);
+                q.work += pos.map_or(q.items.len(), |i| i + 1) as u64;
+                pos.is_some()
+            }
+            HoldbackQueue::Indexed(q) => {
+                q.work += 1;
+                q.entries.contains_key(&id)
+            }
+        }
+    }
+
+    /// Inserts a newly arrived message. `local_vt` is the receiver's
+    /// delivered clock, used by the indexed structure to compute how many
+    /// direct predecessors are still undelivered. The caller must have
+    /// rejected duplicates (via [`Self::contains`] and the delivered
+    /// clock) first.
+    pub fn insert(&mut self, pending: Pending<P>, local_vt: &VectorClock) {
+        match self {
+            HoldbackQueue::Scan(q) => {
+                q.work += 1;
+                q.items.push(pending);
+            }
+            HoldbackQueue::Indexed(q) => q.insert(pending, local_vt),
+        }
+    }
+
+    /// Removes and returns the earliest-arrived deliverable message, if
+    /// any. After delivering it (and advancing the local clock) the caller
+    /// must invoke [`Self::note_delivered`] so dependents are released.
+    pub fn pop_ready(&mut self, local_vt: &VectorClock) -> Option<Pending<P>> {
+        match self {
+            HoldbackQueue::Scan(q) => {
+                let pos = q
+                    .items
+                    .iter()
+                    .position(|p| local_vt.deliverable(&p.msg.vt, p.msg.id.sender));
+                q.work += pos.map_or(q.items.len(), |i| i + 1) as u64;
+                // `remove`, not `swap_remove`: arrival order among the
+                // still-held messages is what makes the two
+                // implementations deliver identically.
+                pos.map(|i| q.items.remove(i))
+            }
+            HoldbackQueue::Indexed(q) => q.pop_ready(local_vt),
+        }
+    }
+
+    /// Tells the queue that message (`sender`, `seq`) was delivered (the
+    /// local clock component for `sender` advanced to `seq`). This is what
+    /// releases dependents in the indexed scheme; the scan rescans anyway.
+    pub fn note_delivered(&mut self, sender: usize, seq: u64) {
+        match self {
+            HoldbackQueue::Scan(_) => {}
+            HoldbackQueue::Indexed(q) => q.note_delivered(sender, seq),
+        }
+    }
+
+    /// Cumulative structural work: holdback entries examined (scan) or
+    /// index registrations/promotions/heap operations (indexed).
+    pub fn work(&self) -> u64 {
+        match self {
+            HoldbackQueue::Scan(q) => q.work,
+            HoldbackQueue::Indexed(q) => q.work,
+        }
+    }
+}
+
+/// The naive `Vec`-of-pending structure. Every membership test and every
+/// drain pass walks the queue from the front.
+#[derive(Debug)]
+pub struct ScanHoldback<P> {
+    items: Vec<Pending<P>>,
+    work: u64,
+}
+
+impl<P> ScanHoldback<P> {
+    fn new(_n: usize) -> Self {
+        ScanHoldback {
+            items: Vec::new(),
+            work: 0,
+        }
+    }
+}
+
+/// The indexed structure: entries by id, a waiter index keyed by the
+/// exact (sender, seq) delivery that will satisfy each outstanding wait,
+/// and a ready min-heap ordered by arrival so delivery order matches the
+/// scan baseline.
+///
+/// Correctness hinges on one invariant of the cbcast deliverability rule:
+/// the local clock component for any sender advances by exactly one per
+/// delivery, so the wait threshold `(k, need)` registered at insert time
+/// is crossed precisely when message `(k, need)` is delivered — and
+/// `note_delivered(k, need)` releases exactly the messages whose last
+/// obstacle that was. A message's wait count therefore reaches zero iff
+/// it is deliverable.
+#[derive(Debug)]
+pub struct IndexedHoldback<P> {
+    n: usize,
+    entries: HashMap<MsgId, IndexedEntry<P>>,
+    /// `(sender, seq)` → ids of held messages waiting on that delivery.
+    waiters: HashMap<(usize, u64), Vec<MsgId>>,
+    /// Wait-count-zero messages, ordered by arrival number.
+    ready: BinaryHeap<Reverse<(u64, MsgId)>>,
+    next_arrival: u64,
+    work: u64,
+}
+
+#[derive(Debug)]
+struct IndexedEntry<P> {
+    pending: Pending<P>,
+    waits: usize,
+    arrival_no: u64,
+}
+
+impl<P> IndexedHoldback<P> {
+    fn new(n: usize) -> Self {
+        IndexedHoldback {
+            n,
+            entries: HashMap::new(),
+            waiters: HashMap::new(),
+            ready: BinaryHeap::new(),
+            next_arrival: 0,
+            work: 0,
+        }
+    }
+
+    fn insert(&mut self, pending: Pending<P>, local_vt: &VectorClock) {
+        let id = pending.msg.id;
+        let arrival_no = self.next_arrival;
+        self.next_arrival += 1;
+        let mut waits = 0usize;
+        for k in 0..self.n {
+            // The direct predecessor this message needs from member k:
+            // its own previous message (FIFO) or the latest message from
+            // k visible in its timestamp.
+            let need = if k == id.sender {
+                id.seq.saturating_sub(1)
+            } else {
+                pending.msg.vt.get(k)
+            };
+            if local_vt.get(k) < need {
+                self.waiters.entry((k, need)).or_default().push(id);
+                waits += 1;
+                self.work += 1;
+            }
+        }
+        self.work += 1;
+        if waits == 0 {
+            self.ready.push(Reverse((arrival_no, id)));
+        }
+        self.entries.insert(
+            id,
+            IndexedEntry {
+                pending,
+                waits,
+                arrival_no,
+            },
+        );
+    }
+
+    fn pop_ready(&mut self, local_vt: &VectorClock) -> Option<Pending<P>> {
+        let Reverse((_, id)) = self.ready.pop()?;
+        self.work += 1;
+        let entry = self
+            .entries
+            .remove(&id)
+            .expect("ready heap entry must be present in the index");
+        debug_assert!(
+            local_vt.deliverable(&entry.pending.msg.vt, id.sender),
+            "ready-queue invariant: zero waits implies deliverable"
+        );
+        Some(entry.pending)
+    }
+
+    fn note_delivered(&mut self, sender: usize, seq: u64) {
+        let Some(list) = self.waiters.remove(&(sender, seq)) else {
+            return;
+        };
+        for id in list {
+            self.work += 1;
+            if let Some(e) = self.entries.get_mut(&id) {
+                e.waits -= 1;
+                if e.waits == 0 {
+                    self.ready.push(Reverse((e.arrival_no, id)));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::VtWire;
+
+    fn msg(sender: usize, seq: u64, vt: &[u64]) -> DataMsg<u32> {
+        let vt = VectorClock::from_entries(vt.to_vec());
+        DataMsg {
+            id: MsgId { sender, seq },
+            vt_wire: VtWire::Full(vt.encode()),
+            vt,
+            payload: 0,
+            retransmit: false,
+            appended: Vec::new(),
+        }
+    }
+
+    fn pend(sender: usize, seq: u64, vt: &[u64]) -> Pending<u32> {
+        Pending {
+            msg: msg(sender, seq, vt),
+            arrived_at: SimTime::ZERO,
+        }
+    }
+
+    /// Drives both implementations through the same out-of-order arrival
+    /// pattern and checks identical delivery sequences.
+    fn drain_all(q: &mut HoldbackQueue<u32>, vt: &mut VectorClock) -> Vec<MsgId> {
+        let mut order = Vec::new();
+        while let Some(p) = q.pop_ready(vt) {
+            let MsgId { sender, seq } = p.msg.id;
+            vt.set(sender, seq);
+            q.note_delivered(sender, seq);
+            order.push(p.msg.id);
+        }
+        order
+    }
+
+    #[test]
+    fn both_impls_release_chain_in_causal_order() {
+        // m0.1 → m1.1 → m2.1, arriving fully reversed.
+        for indexed in [false, true] {
+            let mut q: HoldbackQueue<u32> = HoldbackQueue::new(indexed, 3);
+            let mut vt = VectorClock::new(3);
+            q.insert(pend(2, 1, &[1, 1, 1]), &vt);
+            q.insert(pend(1, 1, &[1, 1, 0]), &vt);
+            assert!(drain_all(&mut q, &mut vt).is_empty());
+            q.insert(pend(0, 1, &[1, 0, 0]), &vt);
+            let order = drain_all(&mut q, &mut vt);
+            assert_eq!(
+                order,
+                vec![
+                    MsgId { sender: 0, seq: 1 },
+                    MsgId { sender: 1, seq: 1 },
+                    MsgId { sender: 2, seq: 1 },
+                ],
+                "indexed={indexed}"
+            );
+            assert!(q.is_empty());
+        }
+    }
+
+    #[test]
+    fn concurrent_ready_messages_pop_in_arrival_order() {
+        for indexed in [false, true] {
+            let mut q: HoldbackQueue<u32> = HoldbackQueue::new(indexed, 3);
+            let vt = VectorClock::new(3);
+            // Two concurrent, immediately deliverable messages.
+            q.insert(pend(1, 1, &[0, 1, 0]), &vt);
+            q.insert(pend(0, 1, &[1, 0, 0]), &vt);
+            let mut local = VectorClock::new(3);
+            let order = drain_all(&mut q, &mut local);
+            assert_eq!(order[0], MsgId { sender: 1, seq: 1 }, "indexed={indexed}");
+            assert_eq!(order[1], MsgId { sender: 0, seq: 1 });
+        }
+    }
+
+    #[test]
+    fn contains_and_len_agree() {
+        for indexed in [false, true] {
+            let mut q: HoldbackQueue<u32> = HoldbackQueue::new(indexed, 2);
+            let vt = VectorClock::new(2);
+            assert!(q.is_empty());
+            q.insert(pend(1, 2, &[0, 2]), &vt);
+            assert_eq!(q.len(), 1);
+            assert!(q.contains(MsgId { sender: 1, seq: 2 }));
+            assert!(!q.contains(MsgId { sender: 1, seq: 1 }));
+        }
+    }
+
+    #[test]
+    fn indexed_work_stays_flat_as_queue_grows() {
+        // Hold H messages from one sender, arriving in reverse; the scan
+        // pays O(H) per probe while the index pays O(1).
+        let h = 64u64;
+        let mut probes_scan = 0u64;
+        let mut probes_idx = 0u64;
+        for (indexed, probes) in [(false, &mut probes_scan), (true, &mut probes_idx)] {
+            let mut q: HoldbackQueue<u32> = HoldbackQueue::new(indexed, 2);
+            let vt = VectorClock::new(2);
+            for seq in (2..=h).rev() {
+                q.insert(pend(1, seq, &[0, seq]), &vt);
+            }
+            let before = q.work();
+            q.contains(MsgId { sender: 1, seq: 1 });
+            *probes = q.work() - before;
+        }
+        assert!(probes_scan >= h - 1, "scan probe walks the queue");
+        assert_eq!(probes_idx, 1, "indexed probe is O(1)");
+    }
+}

@@ -48,6 +48,7 @@ pub mod failure;
 pub mod fbcast;
 pub mod group;
 pub mod harness;
+pub mod holdback;
 pub mod membership;
 pub mod safety;
 pub mod stability;

@@ -112,11 +112,7 @@ impl MembershipEngine {
     /// Reports that `dead` are suspected. If this member is the surviving
     /// coordinator, it initiates the view change; otherwise nothing
     /// happens (it waits for the coordinator's `Flush`).
-    pub fn suspect<P>(
-        &mut self,
-        now: SimTime,
-        dead: &[usize],
-    ) -> (FlushAction, Vec<Out<P>>) {
+    pub fn suspect<P>(&mut self, now: SimTime, dead: &[usize]) -> (FlushAction, Vec<Out<P>>) {
         if !matches!(self.phase, Phase::Normal) {
             return (FlushAction::None, Vec::new());
         }
@@ -177,14 +173,10 @@ impl MembershipEngine {
             Wire::FlushOk { view_id, from, .. } => {
                 let install = match &mut self.phase {
                     Phase::Flushing { proposed, acks, .. }
-                        if proposed.id == *view_id
-                            && Self::coordinator_of(proposed) == self.me =>
+                        if proposed.id == *view_id && Self::coordinator_of(proposed) == self.me =>
                     {
                         acks.insert(*from);
-                        let everyone = proposed
-                            .members
-                            .iter()
-                            .all(|m| acks.contains(&m.0));
+                        let everyone = proposed.members.iter().all(|m| acks.contains(&m.0));
                         everyone.then(|| proposed.clone())
                     }
                     _ => None,

@@ -32,14 +32,16 @@ impl StabilityTracker {
     }
 
     /// Records that `who` delivered the `seq`-th message from `sender`
-    /// (used for the local process's own deliveries).
-    pub fn record_local_delivery(&mut self, who: usize, sender: usize, seq: u64) {
-        self.matrix.record_delivery(who, sender, seq);
+    /// (used for the local process's own deliveries). Returns whether
+    /// this was new knowledge (the stability frontier may have moved).
+    pub fn record_local_delivery(&mut self, who: usize, sender: usize, seq: u64) -> bool {
+        self.matrix.record_delivery(who, sender, seq)
     }
 
-    /// Incorporates a peer's advertised delivered clock.
-    pub fn update_row(&mut self, who: usize, delivered: &VectorClock) {
-        self.matrix.update_row(who, delivered);
+    /// Incorporates a peer's advertised delivered clock. Returns whether
+    /// any component advanced.
+    pub fn update_row(&mut self, who: usize, delivered: &VectorClock) -> bool {
+        self.matrix.update_row(who, delivered)
     }
 
     /// The group-wide stability frontier: component `s` is the highest

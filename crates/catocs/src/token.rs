@@ -130,7 +130,10 @@ impl<P: Clone> TokenAbcastEndpoint<P> {
         match wire {
             Wire::Token { next_gseq, hops } => {
                 // Always acknowledge — the passer retransmits until then.
-                let ack = (Dest::One((self.me + self.n - 1) % self.n), Wire::TokenAck { hops });
+                let ack = (
+                    Dest::One((self.me + self.n - 1) % self.n),
+                    Wire::TokenAck { hops },
+                );
                 if hops <= self.last_token_hops {
                     // A duplicate of a token we already consumed.
                     self.stats.duplicates += 1;
@@ -233,16 +236,14 @@ impl<P: Clone> TokenAbcastEndpoint<P> {
             let gseq = self.token_gseq;
             let mut vt = VectorClock::new(self.n.max(1));
             vt.set(0, gseq);
-            let msg = DataMsg {
-                id: MsgId {
+            let msg = DataMsg::new(
+                MsgId {
                     sender: self.me,
                     seq: self.next_seq,
                 },
                 vt,
                 payload,
-                retransmit: false,
-                appended: Vec::new(),
-            };
+            );
             self.sent.insert(gseq, msg.clone());
             // Own messages are timed from submission, so the release hold
             // time includes the wait for the token rotation.

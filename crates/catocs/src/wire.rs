@@ -7,14 +7,59 @@ use clocks::vector::VectorClock;
 use serde::{Deserialize, Serialize};
 use simnet::time::{SimDuration, SimTime};
 
+/// How a data message's vector timestamp travels on the wire.
+///
+/// The paper's §3.4 overhead critique is about exactly these bytes: a
+/// full vector clock rides on every multicast and grows linearly with
+/// group size. [`VtWire::Delta`] is the standard mitigation — encode only
+/// the components that changed since the sender's previous data message —
+/// threaded through the endpoint so the T7+ experiment measures the real
+/// trade-off rather than an analytical table.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum VtWire {
+    /// Full encoding ([`VectorClock::encode`]); always used for
+    /// retransmissions and appended predecessors so a receiver with no
+    /// decode context can always recover.
+    Full(Vec<u8>),
+    /// Delta encoding ([`VectorClock::encode_delta`]) against the vector
+    /// time of the sender's *previous* data message. Decodable only in
+    /// per-sender seq order; receivers park messages that arrive ahead of
+    /// their base and fall back to NACK-driven full retransmission.
+    Delta(Vec<u8>),
+}
+
+impl VtWire {
+    /// Encoded timestamp size in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            VtWire::Full(b) | VtWire::Delta(b) => b.len(),
+        }
+    }
+
+    /// Whether the encoding is empty (never true for valid encodings).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether this is a delta encoding.
+    pub fn is_delta(&self) -> bool {
+        matches!(self, VtWire::Delta(_))
+    }
+}
+
 /// A data multicast as it appears on the wire.
 #[derive(Clone, Serialize, Deserialize)]
 pub struct DataMsg<P> {
     /// Identity: (sender member index, per-sender sequence).
     pub id: MsgId,
     /// The sender's vector time at send (cbcast/abcast); for fbcast only
-    /// the sender's own component is meaningful.
+    /// the sender's own component is meaningful. Receivers reconstruct
+    /// this from [`DataMsg::vt_wire`]; carrying the decoded form too keeps
+    /// the simulation endpoints cheap to inspect.
     pub vt: VectorClock,
+    /// The timestamp's actual wire encoding — what the byte accounting
+    /// in [`Wire::overhead_bytes`] measures.
+    pub vt_wire: VtWire,
     /// Application payload.
     pub payload: P,
     /// True when this copy is a retransmission.
@@ -25,6 +70,30 @@ pub struct DataMsg<P> {
     /// but this technique can significantly increase network traffic."
     /// Empty unless `GroupConfig::append_predecessors` is on.
     pub appended: Vec<DataMsg<P>>,
+}
+
+impl<P> DataMsg<P> {
+    /// A fresh (non-retransmit) data message with a full-encoded
+    /// timestamp and nothing appended.
+    pub fn new(id: MsgId, vt: VectorClock, payload: P) -> Self {
+        DataMsg {
+            id,
+            vt_wire: VtWire::Full(vt.encode()),
+            vt,
+            payload,
+            retransmit: false,
+            appended: Vec::new(),
+        }
+    }
+
+    /// Rewrites the timestamp to the full encoding — every retransmitted
+    /// or appended copy travels full so any receiver can decode it
+    /// without per-sender delta context (the gap/NACK fallback).
+    pub fn make_full(&mut self) {
+        if self.vt_wire.is_delta() {
+            self.vt_wire = VtWire::Full(self.vt.encode());
+        }
+    }
 }
 
 impl<P: std::fmt::Debug> std::fmt::Debug for DataMsg<P> {
@@ -57,7 +126,11 @@ pub enum Wire<P> {
     /// Sequencer's total-order assignment: global sequence `gseq` is `id`.
     Order { gseq: u64, id: MsgId },
     /// Request retransmission of order assignments (abcast).
-    OrderNack { from: usize, from_gseq: u64, to_gseq: u64 },
+    OrderNack {
+        from: usize,
+        from_gseq: u64,
+        to_gseq: u64,
+    },
     /// The rotating token of the token-ring abcast variant.
     Token { next_gseq: u64, hops: u64 },
     /// Acknowledges receipt of the token (token passing must be
@@ -86,11 +159,11 @@ impl<P> Wire<P> {
         const MSG_ID: usize = 12; // u32 sender + u64 seq
         match self {
             Wire::Data(d) => {
-                let own = MSG_ID + d.vt.encode().len() + 1;
+                let own = MSG_ID + d.vt_wire.len() + 1;
                 let appended: usize = d
                     .appended
                     .iter()
-                    .map(|a| MSG_ID + a.vt.encode().len() + 1)
+                    .map(|a| MSG_ID + a.vt_wire.len() + 1)
                     .sum();
                 own + appended
             }
@@ -198,17 +271,33 @@ pub struct EndpointStats {
     pub holdback_peak: u64,
     /// Messages garbage-collected as stable.
     pub stabilized: u64,
+    /// Cumulative holdback structural work (entries examined by the scan
+    /// implementation; registrations/promotions in the indexed one).
+    pub holdback_work: u64,
+    /// Wire events that touched the holdback queue (denominator for
+    /// per-event work).
+    pub holdback_events: u64,
+    /// Data messages sent with a delta-encoded timestamp.
+    pub ts_delta_sent: u64,
+    /// Data messages sent with a full-encoded timestamp.
+    pub ts_full_sent: u64,
+    /// Received delta-encoded messages parked awaiting their decode base.
+    pub ts_delta_parked: u64,
+    /// Received messages whose timestamp failed to decode (malformed or
+    /// wrong width) and were dropped for NACK-driven recovery.
+    pub ts_decode_errors: u64,
 }
 
 impl EndpointStats {
     /// Mean hold time over held deliveries.
     pub fn mean_hold(&self) -> SimDuration {
-        if self.delivered_after_hold == 0 {
-            SimDuration::ZERO
-        } else {
-            SimDuration::from_micros(
-                self.hold_time_total.as_micros() / self.delivered_after_hold,
-            )
+        match self
+            .hold_time_total
+            .as_micros()
+            .checked_div(self.delivered_after_hold)
+        {
+            None => SimDuration::ZERO,
+            Some(mean) => SimDuration::from_micros(mean),
         }
     }
 
@@ -232,6 +321,17 @@ impl EndpointStats {
         self.holdback_now = len;
         self.holdback_peak = self.holdback_peak.max(len);
     }
+
+    /// Mean holdback structural work per wire event that touched the
+    /// queue — the T7+ scaling metric. For the scan implementation this
+    /// grows with holdback size; for the indexed one it stays flat.
+    pub fn holdback_work_per_event(&self) -> f64 {
+        if self.holdback_events == 0 {
+            0.0
+        } else {
+            self.holdback_work as f64 / self.holdback_events as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -240,35 +340,48 @@ mod tests {
 
     #[test]
     fn overhead_scales_with_group_size() {
-        let small = Wire::Data(DataMsg {
-            id: MsgId { sender: 0, seq: 1 },
-            vt: VectorClock::new(4),
-            payload: (),
-            retransmit: false,
-            appended: Vec::new(),
-        })
+        let small = Wire::Data(DataMsg::new(
+            MsgId { sender: 0, seq: 1 },
+            VectorClock::new(4),
+            (),
+        ))
         .overhead_bytes();
-        let large = Wire::Data(DataMsg {
-            id: MsgId { sender: 0, seq: 1 },
-            vt: VectorClock::new(64),
-            payload: (),
-            retransmit: false,
-            appended: Vec::new(),
-        })
+        let large = Wire::Data(DataMsg::new(
+            MsgId { sender: 0, seq: 1 },
+            VectorClock::new(64),
+            (),
+        ))
         .overhead_bytes();
         assert!(large > small);
         assert_eq!(large - small, 8 * 60); // 60 extra u64 components
     }
 
     #[test]
+    fn overhead_follows_the_wire_encoding() {
+        // A delta-stamped message is charged for the delta bytes, not the
+        // full vector it would otherwise carry.
+        let mut base = VectorClock::new(64);
+        base.set(0, 4);
+        let mut next = base.clone();
+        next.tick(0);
+        let mut msg = DataMsg::new(MsgId { sender: 0, seq: 5 }, next.clone(), ());
+        let full = Wire::Data(msg.clone()).overhead_bytes();
+        msg.vt_wire = VtWire::Delta(next.encode_delta(&base));
+        let delta = Wire::Data(msg.clone()).overhead_bytes();
+        assert!(delta < full, "delta {delta} must undercut full {full}");
+        // make_full restores the fallback encoding.
+        msg.make_full();
+        assert!(!msg.vt_wire.is_delta());
+        assert_eq!(Wire::Data(msg).overhead_bytes(), full);
+    }
+
+    #[test]
     fn control_classification() {
-        let data: Wire<()> = Wire::Data(DataMsg {
-            id: MsgId { sender: 0, seq: 1 },
-            vt: VectorClock::new(2),
-            payload: (),
-            retransmit: false,
-            appended: Vec::new(),
-        });
+        let data: Wire<()> = Wire::Data(DataMsg::new(
+            MsgId { sender: 0, seq: 1 },
+            VectorClock::new(2),
+            (),
+        ));
         assert!(!data.is_control());
         let hb: Wire<()> = Wire::Heartbeat { from: 0 };
         assert!(hb.is_control());

@@ -53,9 +53,7 @@ impl LamportClock {
 }
 
 /// A totally ordered logical timestamp: Lamport time with node tie-break.
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TotalStamp {
     /// Lamport time component (most significant in comparisons).
     pub time: u64,

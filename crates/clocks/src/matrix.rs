@@ -45,16 +45,26 @@ impl MatrixClock {
     }
 
     /// Records that `me` delivered the `seq`-th message from `sender`.
-    pub fn record_delivery(&mut self, me: usize, sender: usize, seq: u64) {
+    /// Returns whether the row advanced (new delivery knowledge).
+    pub fn record_delivery(&mut self, me: usize, sender: usize, seq: u64) -> bool {
         if self.rows[me].get(sender) < seq {
             self.rows[me].set(sender, seq);
+            true
+        } else {
+            false
         }
     }
 
     /// Incorporates a gossiped row: process `who` reports its delivered
-    /// clock `row`.
-    pub fn update_row(&mut self, who: usize, row: &VectorClock) {
-        self.rows[who].merge(row);
+    /// clock `row`. Returns whether any component advanced, so callers
+    /// can skip frontier recomputation when the gossip was stale.
+    pub fn update_row(&mut self, who: usize, row: &VectorClock) -> bool {
+        let mine = &mut self.rows[who];
+        let changed = (0..row.len()).any(|i| row.get(i) > mine.get(i));
+        if changed {
+            mine.merge(row);
+        }
+        changed
     }
 
     /// Incorporates an entire matrix received from a peer.
@@ -71,10 +81,7 @@ impl MatrixClock {
     pub fn stable_frontier(&self) -> VectorClock {
         let mut frontier = VectorClock::new(self.n);
         for s in 0..self.n {
-            let min = (0..self.n)
-                .map(|i| self.rows[i].get(s))
-                .min()
-                .unwrap_or(0);
+            let min = (0..self.n).map(|i| self.rows[i].get(s)).min().unwrap_or(0);
             frontier.set(s, min);
         }
         frontier

@@ -83,9 +83,7 @@ impl SyncClock {
 
 /// A real-time timestamp with node id tie-break — the paper's "temporal
 /// precedence" ordering device (§4.6).
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct RtStamp {
     /// The clock reading.
     pub time: SimTime,

@@ -195,25 +195,32 @@ impl VectorClock {
 
     /// Decodes a delta encoding against `base`.
     ///
-    /// Returns `None` on malformed input.
+    /// Returns `None` on malformed input: short or trailing bytes, more
+    /// pairs than components (`k > n`), duplicate or non-increasing
+    /// indices (the encoder emits them strictly increasing), or an index
+    /// out of range. `k <= n` also bounds the `resize` allocation by the
+    /// declared clock width, so a hostile length prefix cannot demand
+    /// more memory than a well-formed encoding of the same width.
     pub fn decode_delta(buf: &[u8], base: &VectorClock) -> Option<Self> {
         if buf.len() < 8 {
             return None;
         }
         let n = u32::from_le_bytes(buf[0..4].try_into().ok()?) as usize;
         let k = u32::from_le_bytes(buf[4..8].try_into().ok()?) as usize;
-        if buf.len() != 8 + 12 * k {
+        if buf.len() != 8 + 12 * k || k > n {
             return None;
         }
         let mut clock = base.clone();
         clock.entries.resize(n, 0);
+        let mut prev: Option<usize> = None;
         for j in 0..k {
             let s = 8 + 12 * j;
             let i = u32::from_le_bytes(buf[s..s + 4].try_into().ok()?) as usize;
             let v = u64::from_le_bytes(buf[s + 4..s + 12].try_into().ok()?);
-            if i >= n {
+            if i >= n || prev.is_some_and(|p| i <= p) {
                 return None;
             }
+            prev = Some(i);
             clock.entries[i] = v;
         }
         Some(clock)
@@ -309,8 +316,39 @@ mod tests {
     fn delta_decode_rejects_malformed() {
         let base = vc(&[1, 2]);
         assert_eq!(VectorClock::decode_delta(&[], &base), None);
+        // Trailing garbage byte.
         let mut d = vc(&[1, 3]).encode_delta(&base);
         d.push(0);
+        assert_eq!(VectorClock::decode_delta(&d, &base), None);
+        // Truncated mid-pair.
+        let mut d = vc(&[1, 3]).encode_delta(&base);
+        d.truncate(d.len() - 5);
+        assert_eq!(VectorClock::decode_delta(&d, &base), None);
+        // Pair index out of declared range (n = 2, index = 2).
+        let mut d = Vec::new();
+        d.extend_from_slice(&2u32.to_le_bytes());
+        d.extend_from_slice(&1u32.to_le_bytes());
+        d.extend_from_slice(&2u32.to_le_bytes());
+        d.extend_from_slice(&9u64.to_le_bytes());
+        assert_eq!(VectorClock::decode_delta(&d, &base), None);
+        // Duplicate index (encoder emits strictly increasing indices).
+        let mut d = Vec::new();
+        d.extend_from_slice(&2u32.to_le_bytes());
+        d.extend_from_slice(&2u32.to_le_bytes());
+        for _ in 0..2 {
+            d.extend_from_slice(&0u32.to_le_bytes());
+            d.extend_from_slice(&7u64.to_le_bytes());
+        }
+        assert_eq!(VectorClock::decode_delta(&d, &base), None);
+        // More pairs than components (k > n) — also caps the resize
+        // allocation a hostile length prefix could otherwise demand.
+        let mut d = Vec::new();
+        d.extend_from_slice(&1u32.to_le_bytes());
+        d.extend_from_slice(&2u32.to_le_bytes());
+        for i in 0..2u32 {
+            d.extend_from_slice(&i.to_le_bytes());
+            d.extend_from_slice(&7u64.to_le_bytes());
+        }
         assert_eq!(VectorClock::decode_delta(&d, &base), None);
     }
 

@@ -12,9 +12,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies an application object (a security, a lot record, an article).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
 pub struct ObjectId(pub u64);
 
 impl fmt::Debug for ObjectId {
@@ -46,9 +44,7 @@ impl Version {
 }
 
 /// A fully qualified object version: which object, at which version.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Debug,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Debug)]
 pub struct VersionedTag {
     /// The object.
     pub object: ObjectId,
@@ -101,9 +97,7 @@ impl DependencyStamp {
     pub fn current_against(&self, latest_base: &VersionedTag) -> bool {
         match self.depends_on {
             None => true,
-            Some(dep) => {
-                dep.object != latest_base.object || dep.version >= latest_base.version
-            }
+            Some(dep) => dep.object != latest_base.object || dep.version >= latest_base.version,
         }
     }
 }

@@ -29,7 +29,10 @@ pub enum EventKind<M> {
     /// The process recovers and `on_recover` is invoked.
     Recover { proc: ProcessId },
     /// Two network blocks separate (bidirectional partition).
-    PartitionStart { a: Vec<ProcessId>, b: Vec<ProcessId> },
+    PartitionStart {
+        a: Vec<ProcessId>,
+        b: Vec<ProcessId>,
+    },
     /// All partitions heal.
     PartitionHeal,
 }
@@ -133,7 +136,9 @@ mod tests {
         q.push(SimTime::from_micros(30), timer(3));
         q.push(SimTime::from_micros(10), timer(1));
         q.push(SimTime::from_micros(20), timer(2));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.as_micros()).collect();
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.at.as_micros())
+            .collect();
         assert_eq!(order, vec![10, 20, 30]);
     }
 

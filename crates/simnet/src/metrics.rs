@@ -141,7 +141,7 @@ impl Metrics {
     pub fn observe(&mut self, name: &str, d: SimDuration) {
         self.histograms
             .entry(name.to_string())
-            .or_insert_with(Histogram::new)
+            .or_default()
             .record(d);
     }
 

@@ -15,9 +15,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies a process within a simulation (dense, starting at 0).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
 pub struct ProcessId(pub usize);
 
 impl ProcessId {

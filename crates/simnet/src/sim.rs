@@ -319,13 +319,7 @@ impl<M: Debug + 'static> Sim<M> {
         drop(ctx);
         let _ = alive;
         for t in timers {
-            queue.push(
-                *now + t.after,
-                EventKind::Timer {
-                    proc,
-                    timer: t.id,
-                },
-            );
+            queue.push(*now + t.after, EventKind::Timer { proc, timer: t.id });
         }
         for o in outgoing {
             metrics.incr("net.sent", 1);
@@ -337,8 +331,8 @@ impl<M: Debug + 'static> Sim<M> {
                 String::new()
             };
             let unreachable = !net.reachable(proc, o.to);
-            let dropped = unreachable
-                || (cfg.drop_probability > 0.0 && rng.gen_bool(cfg.drop_probability));
+            let dropped =
+                unreachable || (cfg.drop_probability > 0.0 && rng.gen_bool(cfg.drop_probability));
             if dropped {
                 metrics.incr("net.dropped", 1);
                 trace.record(TraceEvent::Drop {

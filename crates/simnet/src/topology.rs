@@ -24,7 +24,10 @@ pub enum Topology {
     /// inter-cluster distance is `wan_factor`. Models the paper's remark
     /// that "there is a significantly higher delay for wide-area
     /// communication compared to local-area communication".
-    Clustered { cluster_size: usize, wan_factor: f64 },
+    Clustered {
+        cluster_size: usize,
+        wan_factor: f64,
+    },
     /// An explicit pairwise distance matrix (row-major, `n × n`). Pairs
     /// outside the matrix default to distance 1. Used by scenarios where
     /// some channels (a colocated database, a local client) are fast

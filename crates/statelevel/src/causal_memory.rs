@@ -129,8 +129,7 @@ impl<V: Clone> CausalMemory<V> {
                         // Deterministic last-writer-wins for concurrent
                         // writes: higher (sum, writer) wins, so all
                         // replicas converge to the same value.
-                        (msg.vt.total_events(), msg.writer)
-                            > (slot.vt.total_events(), slot.writer)
+                        (msg.vt.total_events(), msg.writer) > (slot.vt.total_events(), slot.writer)
                     }
                 }
             }
@@ -259,7 +258,7 @@ mod tests {
             }
             // Deliver all messages to all other replicas in a permuted
             // order (per replica).
-            for i in 0..n {
+            for (i, mem) in mems.iter_mut().enumerate().take(n) {
                 let mut order: Vec<usize> = (0..msgs.len()).collect();
                 for (j, &s) in shuffle.iter().enumerate() {
                     if !order.is_empty() {
@@ -272,7 +271,7 @@ mod tests {
                 for _round in 0..msgs.len() + 1 {
                     for &k in &order {
                         if msgs[k].writer != i {
-                            mems[i].on_write(msgs[k].clone());
+                            mem.on_write(msgs[k].clone());
                         }
                     }
                 }

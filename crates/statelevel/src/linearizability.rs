@@ -172,9 +172,9 @@ mod tests {
         // at replica B after the write's response still sees the old
         // value (propagation in flight). Linearizability rejects it.
         let h = [
-            w(0, 1, 42),        // A's write "completes" locally at 1ms
-            r(5, 6, None),      // B reads stale at 5ms
-            r(20, 21, Some(42)) // B eventually sees it
+            w(0, 1, 42),         // A's write "completes" locally at 1ms
+            r(5, 6, None),       // B reads stale at 5ms
+            r(20, 21, Some(42)), // B eventually sees it
         ];
         assert!(!is_linearizable(&h));
     }

@@ -212,7 +212,7 @@ impl<N: Ord + Copy> KofnWaitGraph<N> {
                 can_finish.entry(t).or_insert(true);
             }
         }
-        for (&w, _) in &self.waits {
+        for &w in self.waits.keys() {
             can_finish.insert(w, false);
         }
         loop {
@@ -335,7 +335,6 @@ impl TerminationDetector {
         Some(all_passive && sent == recv)
     }
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -177,12 +177,7 @@ impl<T> PrescriptiveInbox<T> {
 
     /// The highest delivered version for `object`.
     pub fn delivered_version(&self, object: ObjectId) -> Version {
-        Version(
-            self.streams
-                .get(&object)
-                .map(|s| s.delivered)
-                .unwrap_or(0),
-        )
+        Version(self.streams.get(&object).map(|s| s.delivered).unwrap_or(0))
     }
 }
 
@@ -239,7 +234,9 @@ mod tests {
     fn objects_are_independent() {
         // No false causality: a gap in object 1 never delays object 2.
         let mut inbox = PrescriptiveInbox::new(PrescriptivePolicy::InOrder);
-        assert!(inbox.offer(ObjectId(1), Version(2), "held", t(0)).is_empty());
+        assert!(inbox
+            .offer(ObjectId(1), Version(2), "held", t(0))
+            .is_empty());
         let r = inbox.offer(ObjectId(2), Version(1), "flows", t(1));
         assert_eq!(r.len(), 1, "independent object must not be delayed");
     }

@@ -103,8 +103,7 @@ impl<S: Clone, M: Clone> SnapshotEngine<S, M> {
     /// Handles an application message from `from` (call for *every*
     /// app message while a snapshot may be active).
     pub fn on_app_message(&mut self, from: usize, msg: &M) {
-        if self.recorded.is_some() && self.complete.is_none() && self.recording.contains(&from)
-        {
+        if self.recorded.is_some() && self.complete.is_none() && self.recording.contains(&from) {
             self.channels.entry(from).or_default().push(msg.clone());
         }
     }
@@ -168,7 +167,7 @@ mod tests {
         e.on_marker(2, || 0);
         let snap = e.completed().unwrap();
         assert_eq!(snap.channels.get(&2).unwrap(), &vec!["in-flight"]);
-        assert!(snap.channels.get(&0).is_none());
+        assert!(!snap.channels.contains_key(&0));
     }
 
     #[test]

@@ -70,10 +70,13 @@ impl<V> VersionedStore<V> {
     /// `value`. Returns the new tag (to be carried in the outgoing
     /// message's designated version field).
     pub fn update_local(&mut self, object: ObjectId, value: V) -> VersionedTag {
-        let rec = self.records.entry(object).or_insert_with(|| VersionedRecord {
-            version: Version::INITIAL,
-            value,
-        });
+        let rec = self
+            .records
+            .entry(object)
+            .or_insert_with(|| VersionedRecord {
+                version: Version::INITIAL,
+                value,
+            });
         rec.version = rec.version.next();
         VersionedTag::new(object, rec.version)
     }

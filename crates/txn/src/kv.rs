@@ -82,10 +82,7 @@ impl MvccStore {
         for (key, value) in writes {
             let versions = self.committed.entry(key).or_default();
             if let Some(last) = versions.last() {
-                assert!(
-                    last.stamp < stamp,
-                    "commit stamps must be monotone per key"
-                );
+                assert!(last.stamp < stamp, "commit stamps must be monotone per key");
             }
             versions.push(Version { stamp, tx, value });
         }

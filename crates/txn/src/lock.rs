@@ -11,9 +11,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// A transaction identifier.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct TxId(pub u64);
 
 /// A lockable resource identifier.
@@ -117,18 +115,14 @@ impl LockManager {
             st.holders.remove(&tx);
             st.waiters.retain(|&(t, _)| t != tx);
             // Promote waiters in FIFO order while compatible.
-            loop {
-                let Some(&(next, mode)) = st.waiters.front() else {
-                    break;
-                };
-                if st.compatible(next, mode) {
-                    st.waiters.pop_front();
-                    st.holders.insert(next, mode);
-                    self.held_by.entry(next).or_default().insert(key);
-                    granted.push((next, key));
-                } else {
+            while let Some(&(next, mode)) = st.waiters.front() {
+                if !st.compatible(next, mode) {
                     break;
                 }
+                st.waiters.pop_front();
+                st.holders.insert(next, mode);
+                self.held_by.entry(next).or_default().insert(key);
+                granted.push((next, key));
             }
             if st.holders.is_empty() && st.waiters.is_empty() {
                 self.locks.remove(&key);
@@ -188,8 +182,14 @@ mod tests {
     #[test]
     fn shared_locks_coexist() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.acquire(TxId(1), K, LockMode::Shared), LockOutcome::Granted);
-        assert_eq!(lm.acquire(TxId(2), K, LockMode::Shared), LockOutcome::Granted);
+        assert_eq!(
+            lm.acquire(TxId(1), K, LockMode::Shared),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            lm.acquire(TxId(2), K, LockMode::Shared),
+            LockOutcome::Granted
+        );
         assert!(lm.holds(TxId(1), K, LockMode::Shared));
         assert!(lm.holds(TxId(2), K, LockMode::Shared));
     }
@@ -244,15 +244,24 @@ mod tests {
     fn reacquire_is_idempotent() {
         let mut lm = LockManager::new();
         lm.acquire(TxId(1), K, LockMode::Exclusive);
-        assert_eq!(lm.acquire(TxId(1), K, LockMode::Exclusive), LockOutcome::Granted);
-        assert_eq!(lm.acquire(TxId(1), K, LockMode::Shared), LockOutcome::Granted);
+        assert_eq!(
+            lm.acquire(TxId(1), K, LockMode::Exclusive),
+            LockOutcome::Granted
+        );
+        assert_eq!(
+            lm.acquire(TxId(1), K, LockMode::Shared),
+            LockOutcome::Granted
+        );
     }
 
     #[test]
     fn upgrade_sole_holder() {
         let mut lm = LockManager::new();
         lm.acquire(TxId(1), K, LockMode::Shared);
-        assert_eq!(lm.acquire(TxId(1), K, LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(
+            lm.acquire(TxId(1), K, LockMode::Exclusive),
+            LockOutcome::Granted
+        );
         assert!(lm.holds(TxId(1), K, LockMode::Exclusive));
     }
 

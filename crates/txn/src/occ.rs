@@ -139,7 +139,12 @@ mod tests {
         v.validate(TxId(1), stamp(0, 0), stamp(5, 0), &set(&[]), &set(&[5]));
         // T2 read key 5, started at time 0 → conflict.
         let r = v.validate(TxId(2), stamp(0, 1), stamp(6, 1), &set(&[5]), &set(&[7]));
-        assert_eq!(r, Validation::Abort { conflicting: TxId(1) });
+        assert_eq!(
+            r,
+            Validation::Abort {
+                conflicting: TxId(1)
+            }
+        );
         assert_eq!(v.aborts(), 1);
     }
 
@@ -175,13 +180,7 @@ mod tests {
     fn trim_discards_old_history() {
         let mut v = OccValidator::new();
         for i in 1..=10 {
-            v.validate(
-                TxId(i),
-                stamp(i - 1, 0),
-                stamp(i, 0),
-                &set(&[]),
-                &set(&[i]),
-            );
+            v.validate(TxId(i), stamp(i - 1, 0), stamp(i, 0), &set(&[]), &set(&[i]));
         }
         v.trim(stamp(5, usize::MAX));
         assert_eq!(v.history_len(), 5);

@@ -291,7 +291,9 @@ mod tests {
         assert!(c.on_ack(1, 0, t(1)).is_none());
         assert!(c.on_ack(1, 1, t(2)).is_none());
         match c.on_ack(1, 2, t(3)).expect("committed") {
-            WriteOutcome::Committed { latency, replicas, .. } => {
+            WriteOutcome::Committed {
+                latency, replicas, ..
+            } => {
                 assert_eq!(latency, SimDuration::from_millis(3));
                 assert_eq!(replicas, vec![0, 1, 2]);
             }

@@ -42,9 +42,18 @@ pub enum TxnMsg {
     Prepare { tx: TxId },
     /// Shard → client: vote, carrying the shard's latest commit stamp so
     /// the client's Lamport clock stays ahead of committed history.
-    Vote { tx: TxId, shard: usize, yes: bool, latest_stamp: u64 },
+    Vote {
+        tx: TxId,
+        shard: usize,
+        yes: bool,
+        latest_stamp: u64,
+    },
     /// Client → shard: decision, with the commit stamp.
-    Decision { tx: TxId, commit: bool, stamp: TotalStamp },
+    Decision {
+        tx: TxId,
+        commit: bool,
+        stamp: TotalStamp,
+    },
     /// Shard → monitor: periodic wait-for edges.
     Report(WaitForReport),
     /// Monitor → client: your transaction was chosen as deadlock victim.
@@ -261,10 +270,7 @@ impl TxClient {
 
 impl Process<TxnMsg> for TxClient {
     fn on_start(&mut self, ctx: &mut Ctx<'_, TxnMsg>) {
-        ctx.set_timer(
-            START_TX,
-            SimDuration::from_millis(5 + self.me as u64 * 3),
-        );
+        ctx.set_timer(START_TX, SimDuration::from_millis(5 + self.me as u64 * 3));
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, TxnMsg>, _t: TimerId) {
@@ -296,8 +302,7 @@ impl Process<TxnMsg> for TxClient {
                 } else if all_locked {
                     // Stage writes and prepare everywhere.
                     self.phase = TxPhase::Preparing;
-                    let shards: BTreeSet<usize> =
-                        self.targets.iter().map(|&(s, _, _)| s).collect();
+                    let shards: BTreeSet<usize> = self.targets.iter().map(|&(s, _, _)| s).collect();
                     for &(s, k, _) in &self.targets {
                         ctx.send(
                             self.shard_pid(s),
@@ -328,8 +333,7 @@ impl Process<TxnMsg> for TxClient {
                     return;
                 }
                 self.votes.insert(shard);
-                let needed: BTreeSet<usize> =
-                    self.targets.iter().map(|&(s, _, _)| s).collect();
+                let needed: BTreeSet<usize> = self.targets.iter().map(|&(s, _, _)| s).collect();
                 if self.votes.is_superset(&needed) {
                     let stamp = TotalStamp {
                         time: self.clock.tick(),
@@ -353,10 +357,8 @@ impl Process<TxnMsg> for TxClient {
                     ctx.set_timer(START_TX, SimDuration::from_millis(10));
                 }
             }
-            TxnMsg::AbortVictim { tx } => {
-                if self.current == Some(tx) {
-                    self.abort_current(ctx);
-                }
+            TxnMsg::AbortVictim { tx } if self.current == Some(tx) => {
+                self.abort_current(ctx);
             }
             _ => {}
         }

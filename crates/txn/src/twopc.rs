@@ -331,10 +331,7 @@ mod tests {
     #[test]
     fn unanimous_yes_commits_everywhere() {
         let mut parts = vec![Participant::new(0, 10), Participant::new(1, 10)];
-        let d = run_commit(
-            vec![(0, vec![(1, 100)]), (1, vec![(2, 200)])],
-            &mut parts,
-        );
+        let d = run_commit(vec![(0, vec![(1, 100)]), (1, vec![(2, 200)])], &mut parts);
         assert_eq!(d, TxnDecision::Commit);
         assert_eq!(parts[0].get(1), Some(100));
         assert_eq!(parts[1].get(2), Some(200));
@@ -345,10 +342,7 @@ mod tests {
         // Participant 1 has capacity 0 → votes no (the state-level
         // rejection CATOCS can't express).
         let mut parts = vec![Participant::new(0, 10), Participant::new(1, 0)];
-        let d = run_commit(
-            vec![(0, vec![(1, 100)]), (1, vec![(2, 200)])],
-            &mut parts,
-        );
+        let d = run_commit(vec![(0, vec![(1, 100)]), (1, vec![(2, 200)])], &mut parts);
         assert_eq!(d, TxnDecision::Abort);
         assert_eq!(parts[0].get(1), None, "no partial application");
         assert_eq!(parts[1].get(2), None);

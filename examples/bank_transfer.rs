@@ -22,9 +22,7 @@ fn main() {
         ("high contention", 2, 8, 2),
     ] {
         let r = run_txn_scenario(2026, shards, clients, keys, 6);
-        println!(
-            "{label} ({shards} shards, {clients} clients, {keys} keys/shard):"
-        );
+        println!("{label} ({shards} shards, {clients} clients, {keys} keys/shard):");
         println!(
             "  committed {:3}   deadlock aborts {:2} (resolved {:2})   \
              messages {:5}   serializable: {}   complete: {}",

@@ -17,10 +17,10 @@ use catocs::group::GroupConfig;
 use catocs::wire::{Dest, Out, Wire};
 use clocks::vector::VectorClock;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 use rand::{rngs::SmallRng, Rng, SeedableRng};
 use simnet::time::SimTime;
 use std::sync::Arc;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 const N: usize = 4;
@@ -115,7 +115,7 @@ fn member(
                             d.payload.vt_at_send.get(k)
                         };
                         if delivered_clock.get(k) < needed {
-                            *violations.lock() += 1;
+                            *violations.lock().unwrap() += 1;
                         }
                     }
                     let seen = delivered_clock.get(d.id.sender);
@@ -173,7 +173,7 @@ fn main() {
             all_ok = false;
         }
     }
-    let v = *violations.lock();
+    let v = *violations.lock().unwrap();
     println!("\ncausal violations observed: {v}");
     assert_eq!(v, 0, "happens-before must hold on the live transport too");
     if all_ok {

@@ -48,8 +48,10 @@ fn main() {
                 println!(
                     "seed {seed}: observer delivered STOP before START → naive \
                      state = {:?}, versioned state = {:?}",
-                    r.naive_final_stopped.map(|s| if s { "stopped" } else { "running!" }),
-                    r.versioned_final_stopped.map(|s| if s { "stopped" } else { "running!" }),
+                    r.naive_final_stopped
+                        .map(|s| if s { "stopped" } else { "running!" }),
+                    r.versioned_final_stopped
+                        .map(|s| if s { "stopped" } else { "running!" }),
                 );
             }
         }

@@ -1,0 +1,33 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only the `channel` module's unbounded MPSC surface is provided,
+//! backed by `std::sync::mpsc`. The one in-tree user
+//! (`examples/live_threads.rs`) moves each `Receiver` into its own
+//! thread, which std's channels support fine.
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, Sender};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// An unbounded channel (std's asynchronous channel).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError};
+    use std::time::Duration;
+
+    #[test]
+    fn roundtrip_and_timeout() {
+        let (tx, rx) = unbounded();
+        tx.send(7u32).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+}

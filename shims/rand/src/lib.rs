@@ -1,0 +1,273 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the small slice of `rand`'s API it actually uses:
+//! [`rngs::SmallRng`], the [`Rng`] / [`SeedableRng`] traits with
+//! `gen_range` / `gen_bool` / `gen`, and [`seq::SliceRandom`] with
+//! `shuffle` / `choose`. The generator is xoshiro256++ seeded via
+//! splitmix64 — deterministic, fast, and good enough for simulation
+//! workloads (not cryptographic).
+
+pub mod rngs {
+    /// A small, fast, non-cryptographic PRNG (xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SmallRng {
+        pub(crate) fn from_u64_seed(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+
+        /// The core generator step.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Lower 32 bits of the next output.
+        pub fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+    }
+}
+
+/// Seeding construction, matching the subset of `rand::SeedableRng` used.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::SmallRng::from_u64_seed(seed)
+    }
+}
+
+/// Types `Rng::gen` can produce.
+pub trait Standard: Sized {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+/// Maps a raw u64 to `[0, 1)` with 53 bits of precision.
+fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Object-safe generator core.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+impl RngCore for rngs::SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        rngs::SmallRng::next_u64(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`]. Mirrors rand's two-parameter
+/// shape so the output type can drive integer-literal inference.
+pub trait SampleRange<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range in gen_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range in gen_range");
+        self.start + unit_f64(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for std::ops::RangeInclusive<f64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        lo + unit_f64(rng.next_u64()) * (hi - lo)
+    }
+}
+
+/// The user-facing generator trait (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        unit_f64(self.next_u64()) < p
+    }
+
+    #[allow(clippy::should_implement_trait)]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod seq {
+    use super::RngCore;
+
+    /// Slice shuffling/choosing (subset of `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        type Item;
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[(rng.next_u64() % self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SmallRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert!(v.choose(&mut r).is_some());
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, and nothing in this
+//! workspace actually serializes through serde (the trace JSONL writer
+//! hand-rolls its encoding), so the traits are empty markers and the
+//! derives expand to nothing. Types keep their `#[derive(Serialize,
+//! Deserialize)]` annotations so swapping the real serde back in is a
+//! one-line Cargo change.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

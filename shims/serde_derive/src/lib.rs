@@ -1,0 +1,17 @@
+//! No-op `#[derive(Serialize, Deserialize)]` for the offline serde
+//! stand-in. The workspace annotates types with serde derives for
+//! future interoperability, but nothing in-tree bounds on the traits
+//! (the one real serialization site, `simnet::trace`, hand-rolls its
+//! JSON), so the derives can expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

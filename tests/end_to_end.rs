@@ -74,7 +74,11 @@ fn different_seed_different_history() {
 
 #[test]
 fn everyone_delivers_everything_despite_loss() {
-    for d in [Discipline::Fifo, Discipline::Causal, Discipline::Total { sequencer: 0 }] {
+    for d in [
+        Discipline::Fifo,
+        Discipline::Causal,
+        Discipline::Total { sequencer: 0 },
+    ] {
         let histories = run_group(7, 5, d, 0.1);
         for (i, h) in histories.iter().enumerate() {
             assert_eq!(h.len(), 40, "member {i} under {d:?} missed messages");
