@@ -10,7 +10,7 @@ use bench::experiments as ex;
 
 fn print_usage() {
     eprintln!(
-        "usage: experiments [all|list|f1|f2|f3|f4|t5|t6|t7|t7plus|t8|t9|t10|t11|t12|t13|t14|t15|t16|ablate]..."
+        "usage: experiments [all|list|f1|f2|f3|f4|t5|t6|t7|t7plus|t8|t9|t10|t11|t12|t13|t14|t15|t16|ablate|chaos [--seed N]]..."
     );
 }
 
@@ -20,12 +20,16 @@ fn main() {
         print_usage();
         std::process::exit(2);
     }
-    for arg in &args {
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        i += 1;
         match arg.as_str() {
             "list" => {
                 println!(
                     "f1 f2 f3 f4 — figures; t5..t16, t7plus — quantitative \
-                     claims; ablate — design ablations; all"
+                     claims; ablate — design ablations; chaos — fault \
+                     campaigns (--seed N replays one); all"
                 );
             }
             "all" => {
@@ -57,6 +61,28 @@ fn main() {
             "ablate" => {
                 for t in ex::ablate::run() {
                     println!("{t}");
+                }
+            }
+            "chaos" => {
+                if args.get(i).map(String::as_str) == Some("--seed") {
+                    let seed: u64 = args
+                        .get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| {
+                            eprintln!("chaos --seed needs a number");
+                            std::process::exit(2);
+                        });
+                    i += 2;
+                    if ex::chaos::replay(seed) > 0 {
+                        std::process::exit(1);
+                    }
+                } else {
+                    // 50 seeds × {scan,indexed} × {full,delta} = 200 runs.
+                    let (table, violations) = ex::chaos::run(50);
+                    println!("{table}");
+                    if violations > 0 {
+                        std::process::exit(1);
+                    }
                 }
             }
             other => {

@@ -1,0 +1,333 @@
+//! Chaos — deterministic fault-injection campaigns over the
+//! virtual-synchrony stack (§5).
+//!
+//! Each seed derives a fault schedule (partitions, heals, crashes,
+//! recoveries, loss/duplication/delay episodes) and a full simulation
+//! run; afterwards every process's event log is replayed through the
+//! `catocs::vsync` invariant checker. The sweep crosses the two holdback
+//! implementations with the two timestamp encodings, so a bug in either
+//! optimisation shows up as a violation in exactly those columns.
+//!
+//! `experiments chaos` runs the sweep; `experiments chaos --seed N`
+//! replays one schedule verbatim and prints the plan, the per-process
+//! outcome and any violations (exit code 1 if there are any).
+
+use crate::table::Table;
+use catocs::group::GroupConfig;
+use catocs::vsync::{run_campaign, BugKnobs, CampaignConfig, CampaignResult};
+
+/// Group sizes the sweep cycles through, by seed.
+const SIZES: [usize; 3] = [3, 5, 7];
+
+/// The campaign configuration for one cell of the sweep.
+pub fn campaign_config(n: usize, indexed: bool, delta: bool, knobs: BugKnobs) -> CampaignConfig {
+    let mut cfg = CampaignConfig::default();
+    cfg.n = n;
+    cfg.group = GroupConfig {
+        indexed_holdback: indexed,
+        delta_timestamps: delta,
+        ..GroupConfig::default()
+    };
+    cfg.knobs = knobs;
+    cfg
+}
+
+/// Runs one seeded campaign in the given sweep cell.
+pub fn run_seed(seed: u64, indexed: bool, delta: bool, knobs: BugKnobs) -> CampaignResult {
+    let n = SIZES[(seed % SIZES.len() as u64) as usize];
+    run_campaign(seed, &campaign_config(n, indexed, delta, knobs))
+}
+
+/// Runs `seeds` campaigns in each of the four sweep cells. Returns the
+/// table and the total violation count (the CLI turns nonzero into exit
+/// code 1, so CI fails on any invariant breach).
+pub fn run(seeds: u64) -> (Table, u64) {
+    let mut t = Table::new(
+        "CHAOS — §5: seeded fault campaigns with virtual-synchrony checking",
+        &[
+            "holdback",
+            "timestamps",
+            "runs",
+            "views",
+            "evicted live",
+            "crashed at end",
+            "delivered",
+            "blocked",
+            "violations",
+            "replay stable",
+        ],
+    );
+    let mut total_violations = 0u64;
+    for (indexed, delta) in [(false, false), (false, true), (true, false), (true, true)] {
+        let mut views = 0u64;
+        let mut evicted = 0u64;
+        let mut crashed = 0u64;
+        let mut delivered = 0u64;
+        let mut blocked = 0u64;
+        let mut violations = 0u64;
+        let mut stable = true;
+        for seed in 0..seeds {
+            let r = run_seed(seed, indexed, delta, BugKnobs::default());
+            views += r.views_installed;
+            evicted += r.evicted_live.len() as u64;
+            crashed += r.plan.crashed_at_horizon().len() as u64;
+            delivered += r.delivered_total;
+            blocked += r.blocked as u64;
+            if !r.violations.is_empty() {
+                violations += r.violations.len() as u64;
+                eprintln!(
+                    "chaos: seed {seed} ({}, {}) violated:",
+                    if indexed { "indexed" } else { "scan" },
+                    if delta { "delta" } else { "full" },
+                );
+                for v in &r.violations {
+                    eprintln!("  {v}");
+                }
+            }
+            // Replay determinism: the first seed of every cell runs twice
+            // and must produce bit-identical logs.
+            if seed == 0 {
+                let again = run_seed(seed, indexed, delta, BugKnobs::default());
+                stable &= again.digest == r.digest;
+            }
+        }
+        t.row(vec![
+            if indexed { "indexed" } else { "scan" }.into(),
+            if delta { "delta" } else { "full" }.into(),
+            seeds.into(),
+            views.into(),
+            evicted.into(),
+            crashed.into(),
+            delivered.into(),
+            blocked.into(),
+            violations.into(),
+            if stable { "yes" } else { "NO" }.into(),
+        ]);
+        total_violations += violations;
+    }
+    t.note("each run: seed-derived partitions/heals/crashes/recoveries/degrade episodes,");
+    t.note("then every process log replayed through the vsync invariant checker;");
+    t.note("`experiments chaos --seed N` replays one schedule and prints the plan.");
+    (t, total_violations)
+}
+
+/// Replays one seed across all four sweep cells, printing the schedule
+/// and any violations. Returns the total violation count (the CLI turns
+/// nonzero into exit code 1).
+pub fn replay(seed: u64) -> usize {
+    let n = SIZES[(seed % SIZES.len() as u64) as usize];
+    println!(
+        "{}",
+        run_campaign(seed, &campaign_config(n, true, false, BugKnobs::default())).plan
+    );
+    let mut total = 0;
+    for (indexed, delta) in [(false, false), (false, true), (true, false), (true, true)] {
+        let r = run_seed(seed, indexed, delta, BugKnobs::default());
+        println!(
+            "[{} holdback, {} timestamps] views={} survivors={:?} evicted_live={:?} \
+             delivered={} digest={:016x}",
+            if indexed { "indexed" } else { "scan" },
+            if delta { "delta" } else { "full" },
+            r.views_installed,
+            r.survivors,
+            r.evicted_live,
+            r.delivered_total,
+            r.digest,
+        );
+        if r.blocked {
+            println!("  primary-partition block: survivors short of a majority of the final view");
+        }
+        if r.violations.is_empty() {
+            println!("  invariants: OK");
+        } else {
+            for v in &r.violations {
+                println!("  VIOLATION: {v}");
+            }
+            total += r.violations.len();
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_is_clean() {
+        // A small cut of the full 200-run campaign, kept fast for CI.
+        for (indexed, delta) in [(true, false), (true, true)] {
+            for seed in 0..6 {
+                let r = run_seed(seed, indexed, delta, BugKnobs::default());
+                assert!(
+                    r.violations.is_empty(),
+                    "seed {seed} indexed={indexed} delta={delta}: {:?}\n{}",
+                    r.violations,
+                    r.plan
+                );
+            }
+        }
+    }
+
+    /// S2 regression: without the flush retransmit/backoff path, a
+    /// single lost Flush or FlushOk wedges the view change and the
+    /// survivors never reconverge.
+    #[test]
+    fn flush_retry_bug_is_caught() {
+        let vanilla = run_seed(2, true, true, BugKnobs::default());
+        assert!(vanilla.violations.is_empty(), "{:?}", vanilla.violations);
+        let buggy = run_seed(
+            2,
+            true,
+            true,
+            BugKnobs {
+                no_flush_retry: true,
+                ..BugKnobs::default()
+            },
+        );
+        assert!(
+            !buggy.violations.is_empty(),
+            "seed 2 must violate without flush retries"
+        );
+    }
+
+    /// S3 regression: without resetting delta-timestamp decode chains at
+    /// view install, a message referencing pre-view state parks forever.
+    #[test]
+    fn chain_reset_bug_is_caught() {
+        let vanilla = run_seed(137, true, true, BugKnobs::default());
+        assert!(vanilla.violations.is_empty(), "{:?}", vanilla.violations);
+        let buggy = run_seed(
+            137,
+            true,
+            true,
+            BugKnobs {
+                no_chain_reset: true,
+                ..BugKnobs::default()
+            },
+        );
+        assert!(
+            !buggy.violations.is_empty(),
+            "seed 137 must violate without chain reset at install"
+        );
+    }
+
+    /// S1 regression: without resetting the failure detector on recover,
+    /// cold-start staleness misattributes liveness and the campaign
+    /// evicts a different set of live members than the vanilla run.
+    #[test]
+    fn detector_reset_bug_changes_evictions() {
+        let vanilla = run_seed(23, true, true, BugKnobs::default());
+        assert!(vanilla.violations.is_empty(), "{:?}", vanilla.violations);
+        let buggy = run_seed(
+            23,
+            true,
+            true,
+            BugKnobs {
+                no_detector_reset: true,
+                ..BugKnobs::default()
+            },
+        );
+        assert_ne!(
+            buggy.evicted_live, vanilla.evicted_live,
+            "seed 23 must evict a different live set without detector reset"
+        );
+    }
+
+    #[test]
+    #[ignore = "post-mortem scratch"]
+    fn debug_seed() {
+        use catocs::vsync::NodeEvent;
+        let seed: u64 = std::env::var("CHAOS_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(197);
+        let delta = std::env::var("CHAOS_DELTA").is_ok();
+        let r = run_seed(seed, true, delta, BugKnobs::default());
+        println!("{}", r.plan);
+        for log in &r.logs {
+            let installs: Vec<String> = log
+                .events
+                .iter()
+                .filter_map(|ev| match ev {
+                    NodeEvent::Install { id, members, .. } => {
+                        Some(format!("v{id}{members:?}"))
+                    }
+                    _ => None,
+                })
+                .collect();
+            println!(
+                "p{} alive={} frozen={} clock={:?} installs: {}",
+                log.who,
+                log.alive_at_end,
+                log.frozen,
+                (0..log.final_clock.len())
+                    .map(|i| log.final_clock.get(i))
+                    .collect::<Vec<_>>(),
+                installs.join(" -> ")
+            );
+        }
+        for v in &r.violations {
+            println!("VIOLATION: {v}");
+        }
+    }
+
+    #[test]
+    #[ignore = "seed hunting scratch"]
+    fn hunt_knob_seeds() {
+        for seed in 0..600u64 {
+            let clean = run_seed(seed, true, true, BugKnobs::default());
+            if !clean.violations.is_empty() {
+                println!("seed {seed}: VANILLA VIOLATES {:?}", clean.violations);
+                continue;
+            }
+            let retry = run_seed(
+                seed,
+                true,
+                true,
+                BugKnobs {
+                    no_flush_retry: true,
+                    ..BugKnobs::default()
+                },
+            );
+            if !retry.violations.is_empty() {
+                println!(
+                    "seed {seed}: no_flush_retry -> {:?}",
+                    retry.violations.iter().take(2).collect::<Vec<_>>()
+                );
+            }
+            let chain = run_seed(
+                seed,
+                true,
+                true,
+                BugKnobs {
+                    no_chain_reset: true,
+                    ..BugKnobs::default()
+                },
+            );
+            if !chain.violations.is_empty() {
+                println!(
+                    "seed {seed}: no_chain_reset -> {:?}",
+                    chain.violations.iter().take(2).collect::<Vec<_>>()
+                );
+            }
+            let det = run_seed(
+                seed,
+                true,
+                true,
+                BugKnobs {
+                    no_detector_reset: true,
+                    ..BugKnobs::default()
+                },
+            );
+            if !det.violations.is_empty() || det.evicted_live != clean.evicted_live {
+                println!(
+                    "seed {seed}: no_detector_reset -> evicted {:?} (vanilla {:?}) viol {:?}",
+                    det.evicted_live,
+                    clean.evicted_live,
+                    det.violations.iter().take(2).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+}

@@ -2,6 +2,7 @@
 //! experiment index and EXPERIMENTS.md for the paper-vs-measured record.
 
 pub mod ablate;
+pub mod chaos;
 pub mod f1;
 pub mod f2;
 pub mod f3;
@@ -45,6 +46,7 @@ pub fn run_all() -> Vec<Table> {
     out.push(t14::run());
     out.push(t15::run(&[3, 5, 9]));
     out.push(t16::run());
+    out.push(chaos::run(20).0);
     out.extend(ablate::run());
     out
 }

@@ -46,6 +46,7 @@ impl MemberNode {
                 n,
                 SimDuration::from_millis(20),
                 SimDuration::from_millis(100),
+                SimTime::ZERO,
             ),
             engine: MembershipEngine::new(me, n),
             msgs_left: msgs,
@@ -75,11 +76,23 @@ impl MemberNode {
     }
 
     fn handle_action(&mut self, ctx: &mut Ctx<'_, Wire<u64>>, action: FlushAction) {
-        if action == FlushAction::RetransmitUnstable {
-            let flushed = self.endpoint.flush_unstable();
-            ctx.metrics()
-                .incr("t11.flush_retransmits", flushed.len() as u64);
-            self.route(ctx, flushed);
+        match action {
+            FlushAction::RetransmitUnstable => {
+                let flushed = self.endpoint.flush_unstable();
+                ctx.metrics()
+                    .incr("t11.flush_retransmits", flushed.len() as u64);
+                self.route(ctx, flushed);
+                // Delivery blackout: our FlushOk clock must stay an upper
+                // bound on what we have delivered until the view installs.
+                self.endpoint.freeze();
+            }
+            FlushAction::ViewInstalled { view, cut } => {
+                let members: Vec<usize> = view.members.iter().map(|p| p.0).collect();
+                let thawed = self.endpoint.on_view_install(ctx.now(), &members, &cut);
+                ctx.metrics()
+                    .incr("t11.thawed_deliveries", thawed.len() as u64);
+            }
+            FlushAction::None => {}
         }
     }
 }
@@ -92,8 +105,10 @@ impl Process<Wire<u64>> for MemberNode {
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Wire<u64>>, _f: ProcessId, msg: Wire<u64>) {
         match &msg {
-            Wire::Heartbeat { from } => {
+            Wire::Heartbeat { from, view_id } => {
                 self.detector.heard_from(*from, ctx.now());
+                let out = self.engine.on_heartbeat(*from, *view_id);
+                self.route(ctx, out);
             }
             Wire::Flush { .. } | Wire::FlushOk { .. } | Wire::Install { .. } => {
                 let clock = self.endpoint.clock().clone();
@@ -114,14 +129,27 @@ impl Process<Wire<u64>> for MemberNode {
                 let out = self.endpoint.on_tick(ctx.now());
                 self.route(ctx, out);
                 if self.detector.should_beat(ctx.now()) {
-                    self.route(ctx, vec![(Dest::All, Wire::Heartbeat { from: self.me })]);
+                    let hb = Wire::Heartbeat {
+                        from: self.me,
+                        view_id: self.engine.view().id,
+                    };
+                    self.route(ctx, vec![(Dest::All, hb)]);
                 }
-                let newly = self.detector.check(ctx.now());
-                if !newly.is_empty() {
-                    let (action, out) = self.engine.suspect(ctx.now(), &newly);
+                // Feed the engine the *full* suspect set every tick, not
+                // just new suspicions: if a flush wedges on a proposal
+                // member that died before acking, this is what re-derives
+                // a proposal the survivors can actually complete.
+                self.detector.check(ctx.now());
+                let suspects = self.detector.suspects();
+                if !suspects.is_empty() {
+                    let clock = self.endpoint.clock().clone();
+                    let (action, out) = self.engine.suspect(ctx.now(), &suspects, &clock);
                     self.route(ctx, out);
                     self.handle_action(ctx, action);
                 }
+                let clock = self.endpoint.clock().clone();
+                let retries = self.engine.on_tick(ctx.now(), &clock);
+                self.route(ctx, retries);
                 ctx.set_timer(TICK, TICK_EVERY);
             }
             APP => {

@@ -88,13 +88,39 @@ pub struct CbcastEndpoint<P> {
     missing: BTreeMap<MsgId, Missing>,
     /// Our previous data message's timestamp — the delta-encoding base.
     last_sent_vt: VectorClock,
-    /// Per sender: (seq, vt) of the latest message whose timestamp we
-    /// decoded — the base the next delta from that sender chains onto.
-    decode_chain: Vec<(u64, VectorClock)>,
+    /// Per sender: seq of the latest message whose timestamp we decoded,
+    /// and that timestamp — the base the next delta from that sender
+    /// chains onto. The base is `None` right after a view install: every
+    /// chain is invalidated then (the S3 fix — stale cross-view bases
+    /// silently decoded wrong), and re-seeded by the full-encoded
+    /// messages every member sends first in a new view.
+    decode_chain: Vec<(u64, Option<VectorClock>)>,
     /// Per sender: delta-stamped messages that arrived ahead of their
     /// decode base, parked until the chain catches up (or dropped when a
     /// full retransmission jumps the chain past them).
     undecoded: Vec<BTreeMap<u64, DataMsg<P>>>,
+    /// Which senders are members of the current view. Removed senders'
+    /// messages are accepted only up to the flush cut.
+    alive: Vec<bool>,
+    /// Merged flush cut over all installed views: for a removed sender
+    /// `s`, messages with `seq <= cut[s]` are part of the old view's
+    /// agreed history and still deliverable; beyond it they are rejected.
+    cut: VectorClock,
+    /// Send the next multicast with a full-encoded timestamp regardless
+    /// of config — set at view install so receivers can re-seed their
+    /// invalidated decode chains.
+    force_full_next: bool,
+    /// Delivery blackout: while a flush is in progress (between sending
+    /// our `FlushOk` clock and installing the view) nothing may be
+    /// delivered, or this member could run past the clock it promised
+    /// the coordinator and deliver a removed sender's message beyond the
+    /// agreed cut. Incoming messages still accumulate in the holdback
+    /// queue; [`CbcastEndpoint::on_view_install`] thaws and drains.
+    frozen: bool,
+    /// Campaign regression knob: when set, `on_view_install` skips the
+    /// delta-chain reset (the S3 fix), reintroducing the stale-chain bug
+    /// so fault campaigns can demonstrate the failing seed.
+    skip_view_reset: bool,
     stats: EndpointStats,
 }
 
@@ -115,10 +141,35 @@ impl<P: Clone> CbcastEndpoint<P> {
             gc_frontier: VectorClock::new(n),
             missing: BTreeMap::new(),
             last_sent_vt: VectorClock::new(n),
-            decode_chain: vec![(0, VectorClock::new(n)); n],
+            decode_chain: vec![(0, Some(VectorClock::new(n))); n],
             undecoded: vec![BTreeMap::new(); n],
+            alive: vec![true; n],
+            cut: VectorClock::new(n),
+            force_full_next: false,
+            frozen: false,
+            skip_view_reset: false,
             stats: EndpointStats::default(),
         }
+    }
+
+    /// Suspends all delivery until the next [`CbcastEndpoint::on_view_install`].
+    /// Called when this member enters a flush: its `FlushOk` clock must
+    /// stay an upper bound on what it has delivered until the cut is
+    /// agreed. Receiving, buffering and NACK recovery continue.
+    pub fn freeze(&mut self) {
+        self.frozen = true;
+    }
+
+    /// Whether delivery is currently frozen by a flush in progress.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Regression knob for the fault campaigns: reintroduces the S3 bug
+    /// (stale delta decode chains surviving a view install). Never set
+    /// outside tests and chaos experiments.
+    pub fn debug_skip_view_reset(&mut self, on: bool) {
+        self.skip_view_reset = on;
     }
 
     /// This member's index.
@@ -182,6 +233,68 @@ impl<P: Clone> CbcastEndpoint<P> {
         self.stability.stable_frontier()
     }
 
+    /// Applies an installed view: `members` are the surviving member
+    /// indices and `cut` is the flush cut agreed for the view.
+    ///
+    /// - Removed senders are marked dead: their parked deltas are
+    ///   dropped, holdback entries beyond the cut purged, and anything
+    ///   of theirs still missing at or below the cut is chased via NACK
+    ///   (some survivor delivered it, so some survivor buffers it).
+    /// - Every per-sender delta decode chain is invalidated (the S3 fix):
+    ///   a delta crossing the view boundary must not decode against a
+    ///   stale base. Senders re-seed receivers by sending their first
+    ///   post-install message full-encoded (`force_full_next`).
+    /// - Stability masks dead rows so the stable frontier (and GC) can
+    ///   advance without the departed members' acks.
+    /// - The delivery blackout ([`CbcastEndpoint::freeze`]) ends: the
+    ///   holdback queue is drained and anything that became deliverable
+    ///   during the flush is returned, in causal order.
+    pub fn on_view_install(
+        &mut self,
+        now: SimTime,
+        members: &[usize],
+        cut: &VectorClock,
+    ) -> Vec<Delivery<P>> {
+        self.cut.merge(cut);
+        for s in 0..self.n {
+            if !members.contains(&s) && self.alive[s] {
+                self.alive[s] = false;
+                if !self.skip_view_reset {
+                    self.undecoded[s].clear();
+                }
+                self.holdback.purge_sender(s, self.cut.get(s));
+                for seq in (self.vt.get(s) + 1)..=self.cut.get(s) {
+                    let id = MsgId { sender: s, seq };
+                    if !self.holdback.contains(id) {
+                        self.missing.entry(id).or_insert(Missing {
+                            referenced_by: s,
+                            last_nack: SimTime::MAX,
+                        });
+                    }
+                }
+            }
+            if !self.skip_view_reset {
+                self.decode_chain[s].1 = None;
+            }
+        }
+        let cut_snapshot = self.cut.clone();
+        let alive = &self.alive;
+        self.missing
+            .retain(|id, _| alive[id.sender] || id.seq <= cut_snapshot.get(id.sender));
+        if !self.skip_view_reset {
+            self.force_full_next = true;
+        }
+        self.stability.set_members(members);
+        self.stability_dirty = true;
+        self.stats.note_holdback(self.holdback.len() as u64);
+        self.collect_garbage();
+        // Thaw: deliver whatever queued up during the blackout.
+        self.frozen = false;
+        let mut delivered = Vec::new();
+        self.drain_holdback(now, &mut delivered);
+        delivered
+    }
+
     /// Multicasts `payload` to the group. Returns the local (immediate)
     /// self-delivery and the outbound wire messages.
     pub fn multicast(&mut self, now: SimTime, payload: P) -> (Delivery<P>, Vec<Out<P>>) {
@@ -194,7 +307,7 @@ impl<P: Clone> CbcastEndpoint<P> {
             sender: self.me,
             seq,
         };
-        let vt_wire = if self.cfg.delta_timestamps {
+        let vt_wire = if self.cfg.delta_timestamps && !self.force_full_next {
             // Delta against our previous data message; fall back to full
             // when so many components changed that the delta is no
             // cheaper (dense all-to-all traffic — the paper's caveat).
@@ -211,6 +324,7 @@ impl<P: Clone> CbcastEndpoint<P> {
             self.stats.ts_full_sent += 1;
             VtWire::Full(self.vt.encode())
         };
+        self.force_full_next = false;
         self.last_sent_vt = self.vt.clone();
         let mut msg = DataMsg {
             id,
@@ -278,9 +392,16 @@ impl<P: Clone> CbcastEndpoint<P> {
                 // Gossip also reveals messages we never received (e.g. the
                 // final message from a sender, dropped with no successor
                 // to reference it): anything the peer has delivered that
-                // we have not is missing here.
+                // we have not is missing here. Removed senders' messages
+                // beyond the flush cut will never deliver and are not
+                // worth chasing.
                 for k in 0..self.n {
-                    for seq in (self.vt.get(k) + 1)..=d.get(k) {
+                    let hi = if self.alive[k] {
+                        d.get(k)
+                    } else {
+                        d.get(k).min(self.cut.get(k))
+                    };
+                    for seq in (self.vt.get(k) + 1)..=hi {
                         let id = MsgId { sender: k, seq };
                         if !self.holdback.contains(id) && !self.undecoded[k].contains_key(&seq) {
                             self.missing.entry(id).or_insert(Missing {
@@ -372,6 +493,13 @@ impl<P: Clone> CbcastEndpoint<P> {
             self.stats.ts_decode_errors += 1;
             return;
         }
+        if !self.alive[sender] && msg.id.seq > self.cut.get(sender) {
+            // Virtual synchrony: the sender was removed by a view change
+            // and this message is beyond the flush cut — no survivor may
+            // deliver it.
+            self.stats.rejected_removed += 1;
+            return;
+        }
         match &msg.vt_wire {
             VtWire::Full(bytes) => match VectorClock::decode(bytes) {
                 Some(vt) if vt.len() == self.n => {
@@ -384,9 +512,11 @@ impl<P: Clone> CbcastEndpoint<P> {
                 _ => self.stats.ts_decode_errors += 1,
             },
             VtWire::Delta(bytes) => {
-                let chain_seq = self.decode_chain[sender].0;
-                if msg.id.seq == chain_seq + 1 {
-                    match VectorClock::decode_delta(bytes, &self.decode_chain[sender].1) {
+                let (chain_seq, chain_base) = &self.decode_chain[sender];
+                let chain_seq = *chain_seq;
+                if msg.id.seq == chain_seq + 1 && chain_base.is_some() {
+                    let base = chain_base.as_ref().expect("checked is_some above");
+                    match VectorClock::decode_delta(bytes, base) {
                         Some(vt) if vt.len() == self.n => {
                             debug_assert_eq!(vt, msg.vt, "wire timestamp must match in-memory vt");
                             msg.vt = vt;
@@ -401,11 +531,18 @@ impl<P: Clone> CbcastEndpoint<P> {
                     // this copy is a duplicate of a known message.
                     self.stats.duplicates += 1;
                 } else {
-                    // Ahead of the decode chain: park until the sender's
-                    // FIFO gap fills, and NACK the gap so the missing
-                    // bases arrive (as full-encoded retransmissions).
+                    // Ahead of the decode chain — or the chain base was
+                    // invalidated by a view install: park until a full
+                    // encoding re-seeds the chain, and NACK so the missing
+                    // bases (or a full copy of this very message) arrive
+                    // as full-encoded retransmissions.
                     self.stats.ts_delta_parked += 1;
-                    self.register_fifo_gap(now, sender, chain_seq + 1, msg.id.seq - 1, out);
+                    let hi = if self.decode_chain[sender].1.is_some() {
+                        msg.id.seq - 1
+                    } else {
+                        msg.id.seq
+                    };
+                    self.register_fifo_gap(now, sender, chain_seq + 1, hi, out);
                     self.undecoded[sender].insert(msg.id.seq, msg);
                 }
             }
@@ -418,8 +555,8 @@ impl<P: Clone> CbcastEndpoint<P> {
     /// their payloads come back through the missing/NACK machinery.
     fn advance_chain(&mut self, sender: usize, seq: u64, vt: VectorClock) {
         let chain = &mut self.decode_chain[sender];
-        if seq > chain.0 {
-            *chain = (seq, vt);
+        if seq > chain.0 || (seq == chain.0 && chain.1.is_none()) {
+            *chain = (seq, Some(vt));
             self.undecoded[sender] = self.undecoded[sender].split_off(&(seq + 1));
         }
     }
@@ -434,14 +571,17 @@ impl<P: Clone> CbcastEndpoint<P> {
         delivered: &mut Vec<Delivery<P>>,
     ) {
         loop {
-            let next = self.decode_chain[sender].0 + 1;
+            let (next, base) = match &self.decode_chain[sender] {
+                (seq, Some(base)) => (seq + 1, base.clone()),
+                // Invalidated chain (view install): parked deltas cannot
+                // decode until a full encoding re-seeds it.
+                (_, None) => break,
+            };
             let Some(mut msg) = self.undecoded[sender].remove(&next) else {
                 break;
             };
             let decoded = match &msg.vt_wire {
-                VtWire::Delta(bytes) => {
-                    VectorClock::decode_delta(bytes, &self.decode_chain[sender].1)
-                }
+                VtWire::Delta(bytes) => VectorClock::decode_delta(bytes, &base),
                 VtWire::Full(bytes) => VectorClock::decode(bytes),
             };
             match decoded {
@@ -549,6 +689,13 @@ impl<P: Clone> CbcastEndpoint<P> {
             } else {
                 msg.vt.get(k)
             };
+            // A removed sender's messages beyond the flush cut will never
+            // deliver anywhere; do not chase them.
+            let referenced = if self.alive[k] {
+                referenced
+            } else {
+                referenced.min(self.cut.get(k))
+            };
             for seq in (known + 1)..=referenced {
                 let id = MsgId { sender: k, seq };
                 // Cheapest tests first: most referenced-but-undelivered
@@ -583,8 +730,13 @@ impl<P: Clone> CbcastEndpoint<P> {
     }
 
     /// Delivers every holdback message that has become deliverable, in
-    /// causal order, until a fixed point.
+    /// causal order, until a fixed point. A no-op while frozen (flush in
+    /// progress): messages keep queueing and drain at view install.
     fn drain_holdback(&mut self, now: SimTime, delivered: &mut Vec<Delivery<P>>) {
+        if self.frozen {
+            self.stats.note_holdback(self.holdback.len() as u64);
+            return;
+        }
         while let Some(pending) = self.holdback.pop_ready(&self.vt) {
             let msg = pending.msg;
             let sender = msg.id.sender;
@@ -1023,6 +1175,153 @@ mod tests {
         assert!(dels.is_empty(), "late original must not re-deliver");
         assert_eq!(c.stats().duplicates, 1);
         assert_eq!(c.stats().delivered, 2);
+    }
+
+    #[test]
+    fn view_install_reseeds_delta_chains() {
+        // S3 regression: the decode chain was seeded once at creation and
+        // never reset at view installs. Installing a view must invalidate
+        // every chain; the first post-install send travels full-encoded to
+        // re-seed receivers, after which deltas chain on correctly.
+        let cfg = GroupConfig {
+            delta_timestamps: true,
+            ..GroupConfig::default()
+        };
+        let mut a = CbcastEndpoint::new(0, 3, cfg.clone());
+        let mut c = CbcastEndpoint::new(2, 3, cfg);
+        let (_, o1) = a.multicast(t(0), "m1");
+        c.on_wire(t(1), data_of(&o1));
+        let cut = c.clock().clone();
+        a.on_view_install(t(1), &[0, 2], &cut);
+        c.on_view_install(t(1), &[0, 2], &cut);
+        // First post-install send re-seeds: full encoding even though
+        // delta timestamps are on.
+        let (_, o2) = a.multicast(t(2), "m2");
+        assert!(
+            matches!(&data_of(&o2), Wire::Data(d) if !d.vt_wire.is_delta()),
+            "first post-install message must be full-encoded"
+        );
+        let (dels, _) = c.on_wire(t(3), data_of(&o2));
+        assert_eq!(dels.iter().map(|d| d.payload).collect::<Vec<_>>(), ["m2"]);
+        // Back to deltas, decoding against the re-seeded base.
+        let (_, o3) = a.multicast(t(4), "m3");
+        assert!(matches!(&data_of(&o3), Wire::Data(d) if d.vt_wire.is_delta()));
+        let (dels, _) = c.on_wire(t(5), data_of(&o3));
+        assert_eq!(dels.iter().map(|d| d.payload).collect::<Vec<_>>(), ["m3"]);
+        assert_eq!(c.stats().ts_decode_errors, 0);
+    }
+
+    #[test]
+    fn post_view_delta_against_stale_base_is_parked_and_recovered() {
+        // S3 regression, receiver side: a delta that crosses the view
+        // boundary (its sender has not re-seeded yet) must not decode
+        // against the stale base — it parks and comes back full via NACK.
+        let cfg = GroupConfig {
+            delta_timestamps: true,
+            ..GroupConfig::default()
+        };
+        let mut a = CbcastEndpoint::new(0, 3, cfg.clone());
+        let mut c = CbcastEndpoint::new(2, 3, cfg);
+        let (_, o1) = a.multicast(t(0), "m1");
+        c.on_wire(t(1), data_of(&o1));
+        let cut = c.clock().clone();
+        c.on_view_install(t(1), &[0, 2], &cut); // only the receiver installed
+        let (_, o2) = a.multicast(t(2), "m2"); // delta against m1's vt
+        assert!(matches!(&data_of(&o2), Wire::Data(d) if d.vt_wire.is_delta()));
+        let (dels, nacks) = c.on_wire(t(3), data_of(&o2));
+        assert!(dels.is_empty(), "stale-base delta must not decode");
+        assert_eq!(c.parked_len(), 1);
+        assert_eq!(c.stats().ts_decode_errors, 0, "parked, not mis-decoded");
+        let nack = nacks
+            .into_iter()
+            .find(|(_, w)| matches!(w, Wire::Nack { .. }))
+            .expect("chain gap nacked");
+        let (_, served) = a.on_wire(t(4), nack.1);
+        let retrans = served
+            .into_iter()
+            .find(|(_, w)| matches!(w, Wire::Data(d) if d.retransmit))
+            .expect("retransmit served");
+        let (dels, _) = c.on_wire(t(5), retrans.1);
+        assert_eq!(dels.iter().map(|d| d.payload).collect::<Vec<_>>(), ["m2"]);
+        assert_eq!(c.parked_len(), 0);
+    }
+
+    #[test]
+    fn freeze_defers_delivery_until_install() {
+        let (mut a, mut b, _) = trio();
+        let (_, o1) = a.multicast(t(0), "m1");
+        b.freeze();
+        let (dels, _) = b.on_wire(t(1), data_of(&o1));
+        assert!(dels.is_empty(), "nothing delivers during the blackout");
+        assert!(b.is_frozen());
+        assert_eq!(b.holdback_len(), 1);
+        assert_eq!(b.clock().get(0), 0, "flush clock unchanged while frozen");
+        // The install (same membership) thaws and drains in causal order.
+        let cut = a.clock().clone();
+        let dels = b.on_view_install(t(2), &[0, 1, 2], &cut);
+        assert_eq!(dels.iter().map(|d| d.payload).collect::<Vec<_>>(), ["m1"]);
+        assert!(!b.is_frozen());
+        assert_eq!(b.clock().get(0), 1);
+    }
+
+    #[test]
+    fn freeze_protects_the_cut_across_removal() {
+        // Without the blackout, b would deliver m2 after promising the
+        // coordinator a clock of 1 — running past the agreed cut, the
+        // exact virtual-synchrony violation the campaigns check for.
+        let (mut a, mut b, _) = trio();
+        let (_, o1) = a.multicast(t(0), "m1");
+        let (_, o2) = a.multicast(t(1), "m2");
+        b.on_wire(t(2), data_of(&o1));
+        b.freeze(); // flush begins; b's FlushOk carries clock[0] = 1
+        let (dels, _) = b.on_wire(t(3), data_of(&o2));
+        assert!(dels.is_empty(), "m2 must not deliver during the blackout");
+        let cut = b.clock().clone();
+        let dels = b.on_view_install(t(4), &[1, 2], &cut);
+        assert!(dels.is_empty(), "beyond-cut m2 was purged, not delivered");
+        assert_eq!(b.clock().get(0), 1);
+        assert_eq!(b.holdback_len(), 0);
+    }
+
+    #[test]
+    fn removed_sender_beyond_cut_is_rejected() {
+        let (mut a, _, mut c) = trio();
+        let (_, o1) = a.multicast(t(0), "m1");
+        let (_, o2) = a.multicast(t(1), "m2");
+        c.on_wire(t(2), data_of(&o1));
+        // A view change removes member 0 with cut = c's clock: m1 is part
+        // of the old view's history, m2 is not.
+        let cut = c.clock().clone();
+        c.on_view_install(t(2), &[1, 2], &cut);
+        let (dels, _) = c.on_wire(t(3), data_of(&o2));
+        assert!(dels.is_empty(), "beyond-cut message from removed sender");
+        assert_eq!(c.stats().rejected_removed, 1);
+        assert_eq!(c.holdback_len(), 0);
+    }
+
+    #[test]
+    fn removed_sender_below_cut_is_chased_and_delivered() {
+        // The cut promises m1 was delivered somewhere; a survivor that
+        // missed it must chase and deliver it even though its sender is
+        // gone — that is what makes the cut an agreed history.
+        let (mut a, mut b, mut c) = trio();
+        let (_, o1) = a.multicast(t(0), "m1");
+        b.on_wire(t(1), data_of(&o1));
+        let cut = b.clock().clone();
+        b.on_view_install(t(1), &[1, 2], &cut);
+        c.on_view_install(t(1), &[1, 2], &cut);
+        let out = c.on_tick(t(2));
+        let nack = out
+            .into_iter()
+            .find(|(_, w)| matches!(w, Wire::Nack { .. }))
+            .expect("install registered the below-cut gap as missing");
+        let (_, served) = b.on_wire(t(3), nack.1);
+        let retrans = served
+            .into_iter()
+            .find(|(_, w)| matches!(w, Wire::Data(d) if d.retransmit))
+            .expect("survivor serves from its buffer");
+        let (dels, _) = c.on_wire(t(4), retrans.1);
+        assert_eq!(dels.iter().map(|d| d.payload).collect::<Vec<_>>(), ["m1"]);
     }
 
     /// Deterministic Fisher-Yates driven by a 64-bit LCG, so the proptest

@@ -22,16 +22,40 @@ pub struct FailureDetector {
 }
 
 impl FailureDetector {
-    /// Creates a detector for member `me` of a group of `n`.
-    pub fn new(me: usize, n: usize, interval: SimDuration, suspect_after: SimDuration) -> Self {
+    /// Creates a detector for member `me` of a group of `n`, constructed
+    /// at time `now`. Every peer is credited as heard-from at `now`:
+    /// seeding `last_heard` with the construction time (rather than time
+    /// zero) is what keeps a detector started late — or rebuilt after a
+    /// crash recovery — from instantly suspecting every peer before the
+    /// first heartbeat round.
+    pub fn new(
+        me: usize,
+        n: usize,
+        interval: SimDuration,
+        suspect_after: SimDuration,
+        now: SimTime,
+    ) -> Self {
         FailureDetector {
             me,
             interval,
             suspect_after,
-            last_heard: vec![SimTime::ZERO; n],
+            last_heard: vec![now; n],
             suspected: vec![false; n],
-            last_beat: SimTime::ZERO,
+            last_beat: now,
         }
+    }
+
+    /// Forgets everything and re-seeds `last_heard` at `now` — the state a
+    /// freshly constructed detector would have. Used on crash recovery,
+    /// where the persisted `last_heard` times are arbitrarily stale.
+    pub fn reset(&mut self, now: SimTime) {
+        for t in &mut self.last_heard {
+            *t = now;
+        }
+        for s in &mut self.suspected {
+            *s = false;
+        }
+        self.last_beat = now;
     }
 
     /// The heartbeat interval.
@@ -96,7 +120,42 @@ mod tests {
             3,
             SimDuration::from_millis(10),
             SimDuration::from_millis(50),
+            SimTime::ZERO,
         )
+    }
+
+    #[test]
+    fn late_start_does_not_suspect_before_first_round() {
+        // Regression: a detector constructed long after time zero used to
+        // seed `last_heard` with SimTime::ZERO and suspect every peer on
+        // the very first check, before any heartbeat could arrive.
+        let born = SimTime::from_secs(10);
+        let mut d = FailureDetector::new(
+            0,
+            3,
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(50),
+            born,
+        );
+        assert!(
+            d.check(born + SimDuration::from_millis(1)).is_empty(),
+            "no peer may be suspected before suspect_after elapses from construction"
+        );
+        // The timeout still applies from the construction instant.
+        let newly = d.check(born + SimDuration::from_millis(50));
+        assert_eq!(newly, vec![1, 2]);
+    }
+
+    #[test]
+    fn reset_clears_suspicion_and_reseeds() {
+        let mut d = det();
+        d.check(SimTime::from_millis(100));
+        assert!(d.is_suspected(1) && d.is_suspected(2));
+        d.reset(SimTime::from_millis(100));
+        assert!(d.suspects().is_empty());
+        assert!(d.check(SimTime::from_millis(120)).is_empty());
+        let newly = d.check(SimTime::from_millis(150));
+        assert_eq!(newly, vec![1, 2], "timeout restarts from the reset point");
     }
 
     #[test]

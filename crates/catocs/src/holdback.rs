@@ -145,6 +145,24 @@ impl<P> HoldbackQueue<P> {
             HoldbackQueue::Indexed(q) => q.work,
         }
     }
+
+    /// Drops every held message from `sender` with `seq > keep_le` — used
+    /// at view installs to discard a removed member's messages beyond the
+    /// flush cut (they can never become deliverable: their FIFO
+    /// predecessors beyond the cut are rejected, so they would otherwise
+    /// sit in the queue forever). Returns how many were purged.
+    pub fn purge_sender(&mut self, sender: usize, keep_le: u64) -> usize {
+        match self {
+            HoldbackQueue::Scan(q) => {
+                let before = q.items.len();
+                q.work += before as u64;
+                q.items
+                    .retain(|p| p.msg.id.sender != sender || p.msg.id.seq <= keep_le);
+                before - q.items.len()
+            }
+            HoldbackQueue::Indexed(q) => q.purge_sender(sender, keep_le),
+        }
+    }
 }
 
 /// The naive `Vec`-of-pending structure. Every membership test and every
@@ -242,17 +260,33 @@ impl<P> IndexedHoldback<P> {
     }
 
     fn pop_ready(&mut self, local_vt: &VectorClock) -> Option<Pending<P>> {
-        let Reverse((_, id)) = self.ready.pop()?;
-        self.work += 1;
-        let entry = self
-            .entries
-            .remove(&id)
-            .expect("ready heap entry must be present in the index");
-        debug_assert!(
-            local_vt.deliverable(&entry.pending.msg.vt, id.sender),
-            "ready-queue invariant: zero waits implies deliverable"
-        );
-        Some(entry.pending)
+        // Lazy deletion: `purge_sender` removes entries without sweeping
+        // the heap or the waiter lists, so a popped ready id may no longer
+        // be in the index — skip such tombstones.
+        while let Some(Reverse((_, id))) = self.ready.pop() {
+            self.work += 1;
+            let Some(entry) = self.entries.remove(&id) else {
+                continue;
+            };
+            debug_assert!(
+                local_vt.deliverable(&entry.pending.msg.vt, id.sender),
+                "ready-queue invariant: zero waits implies deliverable"
+            );
+            return Some(entry.pending);
+        }
+        None
+    }
+
+    fn purge_sender(&mut self, sender: usize, keep_le: u64) -> usize {
+        let before = self.entries.len();
+        self.entries
+            .retain(|id, _| id.sender != sender || id.seq <= keep_le);
+        let purged = before - self.entries.len();
+        // Stale waiter-list and ready-heap references to the purged ids
+        // are tolerated: `note_delivered` skips ids missing from the
+        // index, and `pop_ready` skips tombstones.
+        self.work += purged as u64;
+        purged
     }
 
     fn note_delivered(&mut self, sender: usize, seq: u64) {
@@ -357,6 +391,36 @@ mod tests {
             assert_eq!(q.len(), 1);
             assert!(q.contains(MsgId { sender: 1, seq: 2 }));
             assert!(!q.contains(MsgId { sender: 1, seq: 1 }));
+        }
+    }
+
+    #[test]
+    fn purge_sender_drops_beyond_cut_only() {
+        for indexed in [false, true] {
+            let mut q: HoldbackQueue<u32> = HoldbackQueue::new(indexed, 3);
+            let vt = VectorClock::new(3);
+            // Sender 1 held at seqs 2..=4 (FIFO gap at 1); sender 0's
+            // message must survive the purge untouched.
+            q.insert(pend(1, 2, &[0, 2, 0]), &vt);
+            q.insert(pend(1, 3, &[0, 3, 0]), &vt);
+            q.insert(pend(1, 4, &[0, 4, 0]), &vt);
+            q.insert(pend(0, 1, &[1, 0, 0]), &vt);
+            // Cut at 2: seqs 3 and 4 go, seq 2 stays.
+            assert_eq!(q.purge_sender(1, 2), 2, "indexed={indexed}");
+            assert_eq!(q.len(), 2);
+            assert!(q.contains(MsgId { sender: 1, seq: 2 }));
+            assert!(!q.contains(MsgId { sender: 1, seq: 3 }));
+            // The survivors still drain correctly (tombstoned heap/waiter
+            // references must not break delivery).
+            let mut local = VectorClock::new(3);
+            local.set(1, 1); // seq 1 delivered out of band
+            q.note_delivered(1, 1);
+            let order = drain_all(&mut q, &mut local);
+            assert_eq!(
+                order,
+                vec![MsgId { sender: 1, seq: 2 }, MsgId { sender: 0, seq: 1 }],
+                "indexed={indexed}"
+            );
         }
     }
 

@@ -53,6 +53,7 @@ pub mod membership;
 pub mod safety;
 pub mod stability;
 pub mod token;
+pub mod vsync;
 pub mod wire;
 
 pub use cbcast::CbcastEndpoint;

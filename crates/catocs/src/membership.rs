@@ -9,6 +9,29 @@
 //! `FlushOk` carrying its delivered clock. When the coordinator has heard
 //! from every proposed member it installs the view, ending the blackout.
 //!
+//! The fault-injection campaigns (see `catocs::vsync`) drive this engine
+//! through partitions, crashes and heavy loss, which is where the original
+//! fire-and-forget protocol wedged. The engine therefore also provides:
+//!
+//! - **Retry with bounded backoff** ([`MembershipEngine::on_tick`]): both
+//!   the coordinator's `Flush` and each member's `FlushOk` are
+//!   retransmitted until the view installs, so a single dropped message
+//!   no longer freezes the view change forever.
+//! - **Coordinator takeover**: if the proposing coordinator itself dies
+//!   mid-flush, the next-lowest survivor supersedes the proposal with a
+//!   higher view id instead of leaving every member wedged in the flush
+//!   blackout.
+//! - **Primary-partition rule**: a proposal must retain a strict majority
+//!   of the currently installed view. A minority side of a partition
+//!   stalls (keeps its old view, stays silent about membership) rather
+//!   than installing a divergent view — the classic split-brain guard.
+//! - **Flush cut**: the installed view carries a *cut* vector — the
+//!   component-wise max of every `FlushOk` delivered clock. Messages from
+//!   removed members at or below the cut are still deliverable after the
+//!   install (they are part of the old view's agreed history); anything
+//!   beyond the cut from a removed member must be discarded. This is the
+//!   boundary the virtual-synchrony invariant checker enforces.
+//!
 //! Experiment T11 measures the two costs the paper predicts: flush
 //! message count (grows with group size and unstable-buffer depth) and
 //! blackout duration.
@@ -17,13 +40,13 @@
 //! *member indices* wrapped as `ProcessId` — the engine is transport
 //! agnostic, and the harness maps indices to simulator processes.
 
-use crate::group::View;
+use crate::group::{View, ViewId};
 use crate::wire::{Dest, Out, Wire};
 use clocks::vector::VectorClock;
 use serde::{Deserialize, Serialize};
 use simnet::process::ProcessId;
 use simnet::time::{SimDuration, SimTime};
-use std::collections::BTreeSet;
+use std::collections::BTreeMap;
 
 /// What the caller must do after handing the engine an event.
 #[derive(Debug, PartialEq, Eq)]
@@ -33,8 +56,9 @@ pub enum FlushAction {
     /// Retransmit all unstable buffered messages to the group; the
     /// engine has already queued this member's `FlushOk`.
     RetransmitUnstable,
-    /// A new view was installed (delivered as an ordered event).
-    ViewInstalled(View),
+    /// A new view was installed (delivered as an ordered event), together
+    /// with the flush cut agreed for it.
+    ViewInstalled { view: View, cut: VectorClock },
 }
 
 /// Cumulative membership statistics.
@@ -44,6 +68,20 @@ pub struct MembershipStats {
     pub view_changes: u64,
     /// Flush-protocol messages sent by this member.
     pub flush_msgs: u64,
+    /// Flush/FlushOk retransmissions triggered by the retry timer.
+    pub flush_retries: u64,
+    /// Proposals refused because they would shrink below a majority of
+    /// the installed view (partition minority side).
+    pub minority_stalls: u64,
+    /// Flush proposals superseded because their coordinator died.
+    pub takeovers: u64,
+    /// In-flight flushes abandoned because their coordinator was
+    /// suspected and someone else coordinates the replacement.
+    pub abandoned_flushes: u64,
+    /// Proposals or installs rejected because their membership was not a
+    /// subset of the installed view (a wedged evictee trying to rejoin —
+    /// legitimate views only ever shrink).
+    pub rejected_foreign: u64,
     /// Total time spent with sending suppressed.
     pub blackout_total: SimDuration,
     /// Duration of the most recent blackout.
@@ -53,11 +91,14 @@ pub struct MembershipStats {
 #[derive(Debug)]
 enum Phase {
     Normal,
-    /// Flushing toward `proposed`; coordinator tracks acks.
+    /// Flushing toward `proposed`; coordinator tracks acks (member index →
+    /// that member's delivered clock, the inputs to the flush cut).
     Flushing {
         proposed: View,
-        acks: BTreeSet<usize>,
+        acks: BTreeMap<usize, VectorClock>,
         since: SimTime,
+        last_send: SimTime,
+        attempts: u32,
     },
 }
 
@@ -65,8 +106,14 @@ enum Phase {
 #[derive(Debug)]
 pub struct MembershipEngine {
     me: usize,
+    n: usize,
     view: View,
     phase: Phase,
+    /// The cut agreed for the most recently installed view (all zeros for
+    /// the initial view).
+    last_cut: VectorClock,
+    /// Base interval for flush retransmissions.
+    retry_after: SimDuration,
     stats: MembershipStats,
 }
 
@@ -75,15 +122,37 @@ impl MembershipEngine {
     pub fn new(me: usize, n: usize) -> Self {
         MembershipEngine {
             me,
+            n,
             view: View::initial((0..n).map(ProcessId).collect()),
             phase: Phase::Normal,
+            last_cut: VectorClock::new(n),
+            retry_after: SimDuration::from_millis(50),
             stats: MembershipStats::default(),
         }
+    }
+
+    /// Overrides the base flush-retry interval (backoff doubles from here,
+    /// capped at 8×).
+    pub fn set_retry_interval(&mut self, d: SimDuration) {
+        self.retry_after = d;
     }
 
     /// The currently installed view.
     pub fn view(&self) -> &View {
         &self.view
+    }
+
+    /// The cut of the most recently installed view.
+    pub fn last_cut(&self) -> &VectorClock {
+        &self.last_cut
+    }
+
+    /// The proposal currently being flushed toward, if any.
+    pub fn proposal(&self) -> Option<&View> {
+        match &self.phase {
+            Phase::Normal => None,
+            Phase::Flushing { proposed, .. } => Some(proposed),
+        }
     }
 
     /// Whether the member may send application multicasts right now.
@@ -109,23 +178,83 @@ impl MembershipEngine {
         }
     }
 
-    /// Reports that `dead` are suspected. If this member is the surviving
-    /// coordinator, it initiates the view change; otherwise nothing
-    /// happens (it waits for the coordinator's `Flush`).
-    pub fn suspect<P>(&mut self, now: SimTime, dead: &[usize]) -> (FlushAction, Vec<Out<P>>) {
-        if !matches!(self.phase, Phase::Normal) {
+    /// Deterministic tie-break between two divergent proposals carrying
+    /// the same view id (concurrent coordinators with split suspicion
+    /// sets): the smaller membership wins, then the lower coordinator
+    /// index. Every member applies the same rule, so all converge on one.
+    fn proposal_beats(a: &View, b: &View) -> bool {
+        (a.members.len(), Self::coordinator_of(a)) < (b.members.len(), Self::coordinator_of(b))
+    }
+
+    /// Reports the *full* current suspect set (already-excluded members
+    /// are ignored). `delivered` is this member's delivered clock,
+    /// seeding its own flush ack. If this member is the surviving
+    /// coordinator of the resulting proposal, it initiates (or
+    /// supersedes) the view change; otherwise nothing happens — it waits
+    /// for the coordinator's `Flush`.
+    ///
+    /// Call this every tick while the suspect set is non-empty, not just
+    /// on new suspicions: it is idempotent while nothing changes, and it
+    /// is what un-wedges a flush whose proposal includes a member that
+    /// died before acking. Proposals are always derived from the
+    /// *installed view* minus the suspect set — never from the in-flight
+    /// proposal. Deriving from the in-flight proposal could never
+    /// re-admit a member whose suspicion proved transient (a healed
+    /// partition), so a flush wedged on a dead proposal member would
+    /// stall forever even though a live majority existed (chaos
+    /// campaign seed 197 is the pinned regression).
+    pub fn suspect<P>(
+        &mut self,
+        now: SimTime,
+        dead: &[usize],
+        delivered: &VectorClock,
+    ) -> (FlushAction, Vec<Out<P>>) {
+        let dead_pids: Vec<ProcessId> = dead.iter().map(|&d| ProcessId(d)).collect();
+        let mut proposed = self.view.without(&dead_pids);
+        if proposed.members.len() == self.view.members.len() {
+            // Everyone suspected is already out of the view.
             return (FlushAction::None, Vec::new());
         }
-        let dead_pids: Vec<ProcessId> = dead.iter().map(|&d| ProcessId(d)).collect();
-        let proposed = self.view.without(&dead_pids);
-        if proposed.members.len() == self.view.members.len() {
-            return (FlushAction::None, Vec::new());
+        if let Phase::Flushing { proposed: cur, .. } = &self.phase {
+            if cur.members == proposed.members {
+                // Already flushing exactly this membership; `on_tick`
+                // handles the retries.
+                return (FlushAction::None, Vec::new());
+            }
+            if Self::coordinator_of(&proposed) != self.me
+                && dead.contains(&Self::coordinator_of(cur))
+            {
+                // The in-flight proposal is doomed — its coordinator is
+                // suspected — and someone else coordinates the viable
+                // replacement. Abandon it; otherwise the same-id
+                // tie-break can pin us to the dead coordinator's
+                // proposal and reject the live coordinator's superseding
+                // `Flush` forever (chaos seed 479). The replacement
+                // coordinator keeps retrying, so we re-enter its flush
+                // as soon as it reaches us.
+                self.stats.abandoned_flushes += 1;
+                self.phase = Phase::Normal;
+                return (FlushAction::None, Vec::new());
+            }
+            // A different membership must supersede the in-flight
+            // proposal everywhere, so it takes a strictly higher id.
+            // This is also how the death of a proposing coordinator is
+            // survived: the next-lowest member's proposal outranks it.
+            proposed.id = ViewId(cur.id.0 + 1);
         }
         if Self::coordinator_of(&proposed) != self.me {
             return (FlushAction::None, Vec::new());
         }
-        let mut acks = BTreeSet::new();
-        acks.insert(self.me);
+        if 2 * proposed.members.len() <= self.view.members.len() {
+            // Primary-partition rule: refuse to install a minority view.
+            self.stats.minority_stalls += 1;
+            return (FlushAction::None, Vec::new());
+        }
+        if matches!(self.phase, Phase::Flushing { .. }) {
+            self.stats.takeovers += 1;
+        }
+        let mut acks = BTreeMap::new();
+        acks.insert(self.me, delivered.clone());
         let flush = Wire::Flush {
             proposed: proposed.clone(),
             from: self.me,
@@ -135,8 +264,65 @@ impl MembershipEngine {
             proposed,
             acks,
             since: now,
+            last_send: now,
+            attempts: 0,
         };
         (FlushAction::RetransmitUnstable, vec![(Dest::All, flush)])
+    }
+
+    /// Periodic maintenance: retransmits the in-flight `Flush` (as
+    /// coordinator, to members that have not acked) or this member's
+    /// `FlushOk`, with bounded exponential backoff. Without this, a single
+    /// dropped flush message wedges the view change forever.
+    pub fn on_tick<P>(&mut self, now: SimTime, delivered: &VectorClock) -> Vec<Out<P>> {
+        let me = self.me;
+        let retry = self.retry_after;
+        let Phase::Flushing {
+            proposed,
+            acks,
+            last_send,
+            attempts,
+            ..
+        } = &mut self.phase
+        else {
+            return Vec::new();
+        };
+        let backoff = retry.saturating_mul(1u64 << (*attempts).min(3));
+        if now.saturating_since(*last_send) < backoff {
+            return Vec::new();
+        }
+        *last_send = now;
+        *attempts += 1;
+        self.stats.flush_retries += 1;
+        let out: Vec<Out<P>> = if Self::coordinator_of(proposed) == me {
+            acks.insert(me, delivered.clone());
+            proposed
+                .members
+                .iter()
+                .map(|m| m.0)
+                .filter(|i| !acks.contains_key(i))
+                .map(|i| {
+                    (
+                        Dest::One(i),
+                        Wire::Flush {
+                            proposed: proposed.clone(),
+                            from: me,
+                        },
+                    )
+                })
+                .collect()
+        } else {
+            vec![(
+                Dest::One(Self::coordinator_of(proposed)),
+                Wire::FlushOk {
+                    view_id: proposed.id,
+                    from: me,
+                    delivered: delivered.clone(),
+                },
+            )]
+        };
+        self.stats.flush_msgs += out.len() as u64;
+        out
     }
 
     /// Handles a membership wire message. `delivered` is this member's
@@ -150,14 +336,58 @@ impl MembershipEngine {
         match wire {
             Wire::Flush { proposed, from } => {
                 if proposed.id.0 <= self.view.id.0 {
-                    return (FlushAction::None, Vec::new()); // stale
+                    // Stale: the proposer derived this from a view older
+                    // than ours, so it missed at least one Install. Serve
+                    // our view so it can catch up (its guards drop the
+                    // reply if it already has).
+                    return (FlushAction::None, self.repair_install(*from));
                 }
-                if !matches!(self.phase, Phase::Flushing { .. }) {
-                    self.phase = Phase::Flushing {
-                        proposed: proposed.clone(),
-                        acks: BTreeSet::new(),
-                        since: now,
-                    };
+                // Monotone-shrink guard: views only ever lose members, so
+                // a legitimate proposal is always a subset of some view we
+                // have installed (or a superset view we missed shrinking
+                // from). A proposal containing a process we already
+                // evicted is a wedged evictee trying to resurrect itself
+                // with a high view id — reject it, or the evictee's
+                // beyond-cut history would pollute the new view's cut.
+                if !proposed
+                    .members
+                    .iter()
+                    .all(|m| self.view.members.contains(m))
+                {
+                    // The proposer is flushing from a view we have since
+                    // shrunk past (or it is an evictee that never learned
+                    // it is out). Either way its proposal can never
+                    // complete here — serve our Install so the straggler
+                    // adopts the newer view instead of retrying forever
+                    // (chaos seed 191: a concurrent higher-id proposal
+                    // wedged three processes out of the installed view).
+                    self.stats.rejected_foreign += 1;
+                    return (FlushAction::None, self.repair_install(*from));
+                }
+                match &self.phase {
+                    Phase::Flushing { proposed: cur, .. }
+                        if cur.id == proposed.id && cur.members == proposed.members =>
+                    {
+                        // Retried copy of the proposal we are already
+                        // flushing: fall through and re-ack (covers a
+                        // lost FlushOk).
+                    }
+                    Phase::Flushing { proposed: cur, .. }
+                        if cur.id.0 > proposed.id.0
+                            || (cur.id == proposed.id && !Self::proposal_beats(proposed, cur)) =>
+                    {
+                        // Our in-flight proposal supersedes this one.
+                        return (FlushAction::None, Vec::new());
+                    }
+                    _ => {
+                        self.phase = Phase::Flushing {
+                            proposed: proposed.clone(),
+                            acks: BTreeMap::new(),
+                            since: now,
+                            last_send: now,
+                            attempts: 0,
+                        };
+                    }
                 }
                 let ok = Wire::FlushOk {
                     view_id: proposed.id,
@@ -171,46 +401,111 @@ impl MembershipEngine {
                 )
             }
             Wire::FlushOk { view_id, from, .. } => {
+                // Repair path: a FlushOk reaching a Normal-phase process
+                // is evidence the sender missed an Install — either the
+                // one for this very view (we coordinated it and the
+                // broadcast was lost), or the sender is acking a doomed
+                // proposal whose coordinator has since moved on (chaos
+                // seed 191). Serve our installed view; the receiver's
+                // guards drop it if it is not actually newer.
+                if matches!(self.phase, Phase::Normal) && *from != self.me {
+                    return (FlushAction::None, self.repair_install(*from));
+                }
+                let peer_delivered = match wire {
+                    Wire::FlushOk { delivered, .. } => delivered.clone(),
+                    _ => unreachable!("outer match arm is FlushOk"),
+                };
                 let install = match &mut self.phase {
                     Phase::Flushing { proposed, acks, .. }
                         if proposed.id == *view_id && Self::coordinator_of(proposed) == self.me =>
                     {
-                        acks.insert(*from);
-                        let everyone = proposed.members.iter().all(|m| acks.contains(&m.0));
-                        everyone.then(|| proposed.clone())
+                        // Only proposal members feed the cut: a FlushOk
+                        // from an outsider (an evictee that also received
+                        // the broadcast Flush) would inflate the cut with
+                        // deliveries no survivor is bound to.
+                        if !proposed.members.iter().any(|m| m.0 == *from) {
+                            self.stats.rejected_foreign += 1;
+                            return (FlushAction::None, Vec::new());
+                        }
+                        acks.insert(*from, peer_delivered);
+                        acks.insert(self.me, delivered.clone());
+                        let everyone = proposed.members.iter().all(|m| acks.contains_key(&m.0));
+                        everyone.then(|| {
+                            let mut cut = VectorClock::new(self.n);
+                            for d in acks.values() {
+                                cut.merge(d);
+                            }
+                            (proposed.clone(), cut)
+                        })
                     }
                     _ => None,
                 };
-                if let Some(view) = install {
-                    let msg = Wire::Install { view: view.clone() };
+                if let Some((view, cut)) = install {
+                    let msg = Wire::Install {
+                        view: view.clone(),
+                        cut: cut.clone(),
+                    };
                     self.stats.flush_msgs += 1;
-                    let action = self.install(now, view);
+                    let action = self.install(now, view, cut);
                     (action, vec![(Dest::All, msg)])
                 } else {
                     (FlushAction::None, Vec::new())
                 }
             }
-            Wire::Install { view } => {
+            Wire::Install { view, cut } => {
                 if view.id.0 <= self.view.id.0 {
                     return (FlushAction::None, Vec::new());
                 }
-                let action = self.install(now, view.clone());
+                // Same monotone-shrink guard as for proposals.
+                if !view.members.iter().all(|m| self.view.members.contains(m)) {
+                    self.stats.rejected_foreign += 1;
+                    return (FlushAction::None, Vec::new());
+                }
+                let action = self.install(now, view.clone(), cut.clone());
                 (action, Vec::new())
             }
             _ => (FlushAction::None, Vec::new()),
         }
     }
 
-    fn install(&mut self, now: SimTime, view: View) -> FlushAction {
+    /// Heartbeat-borne anti-entropy: a peer advertising an older view id
+    /// missed at least one `Install` — serve ours. This is the only
+    /// repair path that reaches a straggler which is neither proposing
+    /// nor acking (e.g. one that abandoned a doomed flush and sits in
+    /// Normal phase at the old view, chaos seed 206).
+    pub fn on_heartbeat<P>(&mut self, from: usize, view_id: ViewId) -> Vec<Out<P>> {
+        if view_id.0 < self.view.id.0 {
+            self.repair_install(from)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// A one-shot `Install` of the current view, sent to a straggler that
+    /// evidently missed it. Receiver guards (id monotonicity, subset
+    /// check) make a misdirected repair a no-op.
+    fn repair_install<P>(&mut self, to: usize) -> Vec<Out<P>> {
+        self.stats.flush_msgs += 1;
+        vec![(
+            Dest::One(to),
+            Wire::Install {
+                view: self.view.clone(),
+                cut: self.last_cut.clone(),
+            },
+        )]
+    }
+
+    fn install(&mut self, now: SimTime, view: View, cut: VectorClock) -> FlushAction {
         if let Phase::Flushing { since, .. } = self.phase {
             let blackout = now.saturating_since(since);
             self.stats.blackout_total += blackout;
             self.stats.last_blackout = blackout;
         }
         self.view = view.clone();
+        self.last_cut = cut.clone();
         self.phase = Phase::Normal;
         self.stats.view_changes += 1;
-        FlushAction::ViewInstalled(view)
+        FlushAction::ViewInstalled { view, cut }
     }
 }
 
@@ -231,18 +526,19 @@ mod tests {
     fn coordinator_initiates_on_suspicion() {
         let mut m0 = MembershipEngine::new(0, 3);
         assert!(m0.can_send());
-        let (action, out) = m0.suspect::<()>(t(0), &[2]);
+        let (action, out) = m0.suspect::<()>(t(0), &[2], &vc(3));
         assert_eq!(action, FlushAction::RetransmitUnstable);
         assert_eq!(out.len(), 1);
         assert!(matches!(out[0].1, Wire::Flush { .. }));
         assert!(!m0.can_send(), "blackout during flush");
         assert!(m0.is_coordinator());
+        assert!(m0.proposal().is_some());
     }
 
     #[test]
     fn non_coordinator_waits() {
         let mut m1 = MembershipEngine::new(1, 3);
-        let (action, out) = m1.suspect::<()>(t(0), &[2]);
+        let (action, out) = m1.suspect::<()>(t(0), &[2], &vc(3));
         assert_eq!(action, FlushAction::None);
         assert!(out.is_empty());
         assert!(m1.can_send());
@@ -253,7 +549,7 @@ mod tests {
         let mut m0 = MembershipEngine::new(0, 3);
         let mut m1 = MembershipEngine::new(1, 3);
         // Member 2 dies; coordinator 0 flushes.
-        let (_, out) = m0.suspect::<()>(t(0), &[2]);
+        let (_, out) = m0.suspect::<()>(t(0), &[2], &vc(3));
         let flush = out[0].1.clone();
         // m1 receives Flush, retransmits unstable, FlushOks.
         let (a1, out1) = m1.on_wire(t(1), &flush, &vc(3));
@@ -264,19 +560,40 @@ mod tests {
         // Coordinator collects; with m0 (implicit) + m1 that is everyone.
         let (a0, out0) = m0.on_wire(t(5), &flush_ok, &vc(3));
         match a0 {
-            FlushAction::ViewInstalled(v) => {
-                assert_eq!(v.id, ViewId(2));
-                assert_eq!(v.members.len(), 2);
+            FlushAction::ViewInstalled { view, .. } => {
+                assert_eq!(view.id, ViewId(2));
+                assert_eq!(view.members.len(), 2);
             }
             other => panic!("expected install, got {other:?}"),
         }
         let install = out0[0].1.clone();
         // m1 installs too.
         let (a1, _) = m1.on_wire(t(6), &install, &vc(3));
-        assert!(matches!(a1, FlushAction::ViewInstalled(_)));
+        assert!(matches!(a1, FlushAction::ViewInstalled { .. }));
         assert!(m0.can_send() && m1.can_send());
         assert_eq!(m0.stats().view_changes, 1);
         assert_eq!(m1.stats().last_blackout, SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn cut_is_max_of_flush_ok_clocks() {
+        let mut m0 = MembershipEngine::new(0, 3);
+        let my_clock = VectorClock::from_entries(vec![4, 0, 2]);
+        let (_, _) = m0.suspect::<()>(t(0), &[2], &my_clock);
+        let peer_clock = VectorClock::from_entries(vec![3, 5, 1]);
+        let ok = Wire::<()>::FlushOk {
+            view_id: ViewId(2),
+            from: 1,
+            delivered: peer_clock,
+        };
+        let (a, _) = m0.on_wire(t(1), &ok, &my_clock);
+        match a {
+            FlushAction::ViewInstalled { cut, .. } => {
+                assert_eq!(cut, VectorClock::from_entries(vec![4, 5, 2]));
+            }
+            other => panic!("expected install, got {other:?}"),
+        }
+        assert_eq!(m0.last_cut(), &VectorClock::from_entries(vec![4, 5, 2]));
     }
 
     #[test]
@@ -291,7 +608,11 @@ mod tests {
         };
         let (a, out) = m.on_wire(t(0), &stale, &vc(3));
         assert_eq!(a, FlushAction::None);
-        assert!(out.is_empty());
+        // A stale proposer has missed an Install: the reply serves the
+        // current view so it can catch up.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, Dest::One(0));
+        assert!(matches!(out[0].1, Wire::Install { .. }));
     }
 
     #[test]
@@ -301,9 +622,12 @@ mod tests {
             id: ViewId(2),
             members: vec![ProcessId(0), ProcessId(1)],
         };
-        let install = Wire::<()>::Install { view: v2.clone() };
+        let install = Wire::<()>::Install {
+            view: v2.clone(),
+            cut: vc(3),
+        };
         let (a, _) = m.on_wire(t(0), &install, &vc(3));
-        assert!(matches!(a, FlushAction::ViewInstalled(_)));
+        assert!(matches!(a, FlushAction::ViewInstalled { .. }));
         let (a, _) = m.on_wire(t(1), &install, &vc(3));
         assert_eq!(a, FlushAction::None);
         assert_eq!(m.stats().view_changes, 1);
@@ -312,7 +636,7 @@ mod tests {
     #[test]
     fn suspicion_of_unknown_member_is_noop() {
         let mut m0 = MembershipEngine::new(0, 3);
-        let (a, out) = m0.suspect::<()>(t(0), &[9]);
+        let (a, out) = m0.suspect::<()>(t(0), &[9], &vc(3));
         assert_eq!(a, FlushAction::None);
         assert!(out.is_empty());
     }
@@ -321,9 +645,313 @@ mod tests {
     fn coordinator_death_promotes_next() {
         // Member 0 dies; member 1 becomes coordinator of the proposal.
         let mut m1 = MembershipEngine::new(1, 3);
-        let (a, out) = m1.suspect::<()>(t(0), &[0]);
+        let (a, out) = m1.suspect::<()>(t(0), &[0], &vc(3));
         assert_eq!(a, FlushAction::RetransmitUnstable);
         assert!(!out.is_empty());
         assert!(m1.is_coordinator());
+    }
+
+    #[test]
+    fn coordinator_retries_flush_until_acked() {
+        // S2 regression: a lost Flush used to wedge the change forever.
+        let mut m0 = MembershipEngine::new(0, 4);
+        m0.set_retry_interval(SimDuration::from_millis(20));
+        let (_, first) = m0.suspect::<()>(t(0), &[3], &vc(4));
+        assert_eq!(first.len(), 1);
+        // Too early: nothing.
+        assert!(m0.on_tick::<()>(t(10), &vc(4)).is_empty());
+        // First retry after the base interval, to the members that have
+        // not acked (1 and 2).
+        let r1 = m0.on_tick::<()>(t(20), &vc(4));
+        assert_eq!(r1.len(), 2);
+        assert!(r1
+            .iter()
+            .all(|(d, w)| matches!(w, Wire::Flush { .. })
+                && matches!(d, Dest::One(k) if *k == 1 || *k == 2)));
+        // Backoff doubles: next at +40ms, not +20ms.
+        assert!(m0.on_tick::<()>(t(40), &vc(4)).is_empty());
+        let r2 = m0.on_tick::<()>(t(60), &vc(4));
+        assert_eq!(r2.len(), 2);
+        assert_eq!(m0.stats().flush_retries, 2);
+        // An ack narrows the retry fan-out.
+        let ok = Wire::<()>::FlushOk {
+            view_id: ViewId(2),
+            from: 1,
+            delivered: vc(4),
+        };
+        m0.on_wire(t(70), &ok, &vc(4));
+        let r3 = m0.on_tick::<()>(t(1000), &vc(4));
+        assert_eq!(r3.len(), 1);
+        assert!(matches!(r3[0].0, Dest::One(2)));
+    }
+
+    #[test]
+    fn member_retries_flush_ok() {
+        let mut m1 = MembershipEngine::new(1, 3);
+        m1.set_retry_interval(SimDuration::from_millis(20));
+        let flush = Wire::<()>::Flush {
+            proposed: View {
+                id: ViewId(2),
+                members: vec![ProcessId(0), ProcessId(1)],
+            },
+            from: 0,
+        };
+        m1.on_wire(t(0), &flush, &vc(3));
+        let r = m1.on_tick::<()>(t(25), &vc(3));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].0, Dest::One(0));
+        assert!(matches!(r[0].1, Wire::FlushOk { .. }));
+    }
+
+    #[test]
+    fn duplicate_flush_reacks() {
+        // A retried Flush (the coordinator never saw our FlushOk) must be
+        // re-acked, not ignored.
+        let mut m1 = MembershipEngine::new(1, 3);
+        let flush = Wire::<()>::Flush {
+            proposed: View {
+                id: ViewId(2),
+                members: vec![ProcessId(0), ProcessId(1)],
+            },
+            from: 0,
+        };
+        let (_, out1) = m1.on_wire(t(0), &flush, &vc(3));
+        assert!(matches!(out1[0].1, Wire::FlushOk { .. }));
+        let (_, out2) = m1.on_wire(t(5), &flush, &vc(3));
+        assert!(matches!(out2[0].1, Wire::FlushOk { .. }));
+    }
+
+    #[test]
+    fn flush_ok_after_install_reserves_install() {
+        // The Install was lost; the member keeps retrying FlushOk; the
+        // coordinator (already Normal in the new view) must re-serve the
+        // Install rather than ignore the ack.
+        let mut m0 = MembershipEngine::new(0, 3);
+        let (_, _) = m0.suspect::<()>(t(0), &[2], &vc(3));
+        let ok = Wire::<()>::FlushOk {
+            view_id: ViewId(2),
+            from: 1,
+            delivered: vc(3),
+        };
+        let (a, _) = m0.on_wire(t(1), &ok, &vc(3));
+        assert!(matches!(a, FlushAction::ViewInstalled { .. }));
+        // The member retries its ack.
+        let (a, out) = m0.on_wire(t(100), &ok, &vc(3));
+        assert_eq!(a, FlushAction::None);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, Dest::One(1));
+        assert!(matches!(out[0].1, Wire::Install { .. }));
+    }
+
+    #[test]
+    fn foreign_member_proposal_rejected() {
+        // m1 installed {0,1} (2 evicted); a wedged 2 later proposes a
+        // higher-id view containing itself. The monotone-shrink guard
+        // must refuse it — accepting would resurrect the evictee with
+        // inconsistent cut state at every survivor.
+        let mut m1 = MembershipEngine::new(1, 3);
+        let v2 = View {
+            id: ViewId(2),
+            members: vec![ProcessId(0), ProcessId(1)],
+        };
+        m1.on_wire::<()>(t(0), &Wire::Install { view: v2, cut: vc(3) }, &vc(3));
+        let rejoin = Wire::<()>::Flush {
+            proposed: View {
+                id: ViewId(3),
+                members: vec![ProcessId(1), ProcessId(2)],
+            },
+            from: 2,
+        };
+        let (a, out) = m1.on_wire(t(1), &rejoin, &vc(3));
+        assert_eq!(a, FlushAction::None);
+        // The rejection carries a repair Install so the wedged evictee
+        // learns it is out instead of retrying forever.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, Dest::One(2));
+        assert!(matches!(out[0].1, Wire::Install { .. }));
+        assert!(m1.can_send(), "guarded member never entered the flush");
+        assert_eq!(m1.stats().rejected_foreign, 1);
+        // Same guard for a direct Install.
+        let install = Wire::<()>::Install {
+            view: View {
+                id: ViewId(3),
+                members: vec![ProcessId(1), ProcessId(2)],
+            },
+            cut: vc(3),
+        };
+        let (a, _) = m1.on_wire(t(2), &install, &vc(3));
+        assert_eq!(a, FlushAction::None);
+        assert_eq!(m1.view().id, ViewId(2));
+        assert_eq!(m1.stats().rejected_foreign, 2);
+    }
+
+    #[test]
+    fn flush_ok_from_non_member_does_not_pollute_cut() {
+        // 0 proposes {0,1} (2 evicted). The evictee, having received the
+        // broadcast Flush, acks with a clock far beyond anything the
+        // survivors delivered. Its ack must not count toward completion
+        // or the cut.
+        let mut m0 = MembershipEngine::new(0, 3);
+        let my_clock = VectorClock::from_entries(vec![1, 0, 0]);
+        let (_, _) = m0.suspect::<()>(t(0), &[2], &my_clock);
+        let evictee_ok = Wire::<()>::FlushOk {
+            view_id: ViewId(2),
+            from: 2,
+            delivered: VectorClock::from_entries(vec![1, 0, 9]),
+        };
+        let (a, out) = m0.on_wire(t(1), &evictee_ok, &my_clock);
+        assert_eq!(a, FlushAction::None, "outsider ack must not complete");
+        assert!(out.is_empty());
+        assert_eq!(m0.stats().rejected_foreign, 1);
+        let ok = Wire::<()>::FlushOk {
+            view_id: ViewId(2),
+            from: 1,
+            delivered: VectorClock::from_entries(vec![1, 2, 0]),
+        };
+        let (a, _) = m0.on_wire(t(2), &ok, &my_clock);
+        match a {
+            FlushAction::ViewInstalled { cut, .. } => {
+                assert_eq!(
+                    cut,
+                    VectorClock::from_entries(vec![1, 2, 0]),
+                    "cut reflects proposal members only"
+                );
+            }
+            other => panic!("expected install, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn coordinator_death_mid_flush_is_superseded() {
+        // In a group of 5, 0 proposes {0,1,2,3} (4 died); then 0 dies
+        // too. 1 must supersede with a higher-id proposal instead of
+        // leaving everyone wedged in the flush blackout.
+        let mut m1 = MembershipEngine::new(1, 5);
+        let flush = Wire::<()>::Flush {
+            proposed: View {
+                id: ViewId(2),
+                members: vec![ProcessId(0), ProcessId(1), ProcessId(2), ProcessId(3)],
+            },
+            from: 0,
+        };
+        m1.on_wire(t(0), &flush, &vc(5));
+        assert!(!m1.can_send());
+        // Full suspect set: 4 (the original death) plus 0 (the dead
+        // coordinator). Proposals derive from the installed view minus
+        // this set, so both must be reported.
+        let (a, out) = m1.suspect::<()>(t(50), &[0, 4], &vc(5));
+        assert_eq!(a, FlushAction::RetransmitUnstable);
+        match &out[0].1 {
+            Wire::Flush { proposed, from } => {
+                assert_eq!(*from, 1);
+                assert_eq!(proposed.id, ViewId(3));
+                assert_eq!(
+                    proposed.members,
+                    vec![ProcessId(1), ProcessId(2), ProcessId(3)]
+                );
+            }
+            other => panic!("expected superseding flush, got {other:?}"),
+        }
+        assert_eq!(m1.stats().takeovers, 1);
+    }
+
+    #[test]
+    fn doomed_flush_abandoned_when_coordinator_suspected() {
+        // m2 (group of 5) joins 0's flush toward {0,1,2,3}; then 0 dies
+        // too. m2 cannot coordinate the replacement, so it must abandon
+        // the doomed proposal — otherwise the same-id tie-break pins it
+        // to the dead coordinator's proposal and it rejects the live
+        // coordinator's superseding Flush forever (chaos seed 479).
+        let mut m2 = MembershipEngine::new(2, 5);
+        let flush = Wire::<()>::Flush {
+            proposed: View {
+                id: ViewId(2),
+                members: vec![ProcessId(0), ProcessId(1), ProcessId(2), ProcessId(3)],
+            },
+            from: 0,
+        };
+        m2.on_wire(t(0), &flush, &vc(5));
+        assert!(!m2.can_send());
+        let (a, out) = m2.suspect::<()>(t(50), &[0, 4], &vc(5));
+        assert_eq!(a, FlushAction::None);
+        assert!(out.is_empty());
+        assert_eq!(m2.stats().abandoned_flushes, 1);
+        assert!(m2.proposal().is_none());
+        // The live coordinator's superseding proposal is now adoptable.
+        let flush2 = Wire::<()>::Flush {
+            proposed: View {
+                id: ViewId(3),
+                members: vec![ProcessId(1), ProcessId(2), ProcessId(3)],
+            },
+            from: 1,
+        };
+        let (a, out) = m2.on_wire(t(60), &flush2, &vc(5));
+        assert_eq!(a, FlushAction::RetransmitUnstable);
+        assert!(matches!(out[0].1, Wire::FlushOk { .. }));
+    }
+
+    #[test]
+    fn heartbeat_from_stale_view_triggers_install_repair() {
+        // A straggler that missed an Install and is neither proposing
+        // nor acking has no retry path pointed at it; its heartbeats
+        // advertise the stale view id and any newer peer repairs it.
+        let mut m1 = MembershipEngine::new(1, 3);
+        let v2 = View {
+            id: ViewId(2),
+            members: vec![ProcessId(0), ProcessId(1)],
+        };
+        m1.on_wire::<()>(t(0), &Wire::Install { view: v2, cut: vc(3) }, &vc(3));
+        let out = m1.on_heartbeat::<()>(2, ViewId(1));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, Dest::One(2));
+        assert!(matches!(out[0].1, Wire::Install { .. }));
+        // A peer at the same (or newer) view needs no repair.
+        assert!(m1.on_heartbeat::<()>(0, ViewId(2)).is_empty());
+    }
+
+    #[test]
+    fn minority_proposal_stalls() {
+        // In a group of 4, a 2-member proposal is not a strict majority:
+        // the minority side of an even split must not install.
+        let mut m0 = MembershipEngine::new(0, 4);
+        let (a, out) = m0.suspect::<()>(t(0), &[2, 3], &vc(4));
+        assert_eq!(a, FlushAction::None);
+        assert!(out.is_empty());
+        assert!(m0.can_send(), "stalled, not flushing");
+        assert_eq!(m0.stats().minority_stalls, 1);
+        // A 3-member proposal is a majority and proceeds.
+        let (a, _) = m0.suspect::<()>(t(1), &[3], &vc(4));
+        assert_eq!(a, FlushAction::RetransmitUnstable);
+    }
+
+    #[test]
+    fn same_id_divergent_proposals_tie_break() {
+        // Split suspicion: 1 proposes {1,2,3,4} (0 dead), 2 proposes
+        // {2,3,4} (0 and 1 dead), both id 2. Smaller membership wins
+        // everywhere, so member 3 must adopt 2's proposal even after
+        // acking 1's.
+        let mut m3 = MembershipEngine::new(3, 5);
+        let big = Wire::<()>::Flush {
+            proposed: View {
+                id: ViewId(2),
+                members: vec![ProcessId(1), ProcessId(2), ProcessId(3), ProcessId(4)],
+            },
+            from: 1,
+        };
+        let small = Wire::<()>::Flush {
+            proposed: View {
+                id: ViewId(2),
+                members: vec![ProcessId(2), ProcessId(3), ProcessId(4)],
+            },
+            from: 2,
+        };
+        let (_, out_big) = m3.on_wire(t(0), &big, &vc(5));
+        assert_eq!(out_big[0].0, Dest::One(1));
+        let (_, out_small) = m3.on_wire(t(1), &small, &vc(5));
+        assert_eq!(out_small[0].0, Dest::One(2), "adopted the smaller proposal");
+        // The loser arriving after the winner is ignored.
+        let (a, out) = m3.on_wire(t(2), &big, &vc(5));
+        assert_eq!(a, FlushAction::None);
+        assert!(out.is_empty());
     }
 }

@@ -15,6 +15,10 @@ use serde::{Deserialize, Serialize};
 pub struct StabilityTracker {
     matrix: MatrixClock,
     n: usize,
+    /// Which members' rows count toward stability. A removed member's row
+    /// freezes at its last known clock; without masking it out, the
+    /// stable frontier (and therefore buffer GC) would freeze with it.
+    alive: Vec<bool>,
 }
 
 impl StabilityTracker {
@@ -23,6 +27,16 @@ impl StabilityTracker {
         StabilityTracker {
             matrix: MatrixClock::new(n),
             n,
+            alive: vec![true; n],
+        }
+    }
+
+    /// Restricts stability to `members` (surviving member indices) — the
+    /// view-install hook. Rows of removed members no longer gate the
+    /// stable frontier.
+    pub fn set_members(&mut self, members: &[usize]) {
+        for (i, a) in self.alive.iter_mut().enumerate() {
+            *a = members.contains(&i);
         }
     }
 
@@ -45,14 +59,31 @@ impl StabilityTracker {
     }
 
     /// The group-wide stability frontier: component `s` is the highest
-    /// seq from sender `s` known delivered everywhere.
+    /// seq from sender `s` known delivered by every current member.
     pub fn stable_frontier(&self) -> VectorClock {
-        self.matrix.stable_frontier()
+        if self.alive.iter().all(|&a| a) {
+            return self.matrix.stable_frontier();
+        }
+        let mut frontier = VectorClock::new(self.n);
+        for s in 0..self.n {
+            let min = (0..self.n)
+                .filter(|&i| self.alive[i])
+                .map(|i| self.matrix.own_row(i).get(s))
+                .min()
+                .unwrap_or(0);
+            frontier.set(s, min);
+        }
+        frontier
     }
 
     /// Whether `(sender, seq)` is known stable.
     pub fn is_stable(&self, sender: usize, seq: u64) -> bool {
-        self.matrix.is_stable(sender, seq)
+        if self.alive.iter().all(|&a| a) {
+            return self.matrix.is_stable(sender, seq);
+        }
+        (0..self.n)
+            .filter(|&i| self.alive[i])
+            .all(|i| self.knows_delivered(i, sender, seq))
     }
 
     /// How many members are known to have delivered `(sender, seq)` —
@@ -100,6 +131,22 @@ mod tests {
         assert_eq!(s.ack_count(0, 1), 2);
         assert!(s.knows_delivered(2, 0, 1));
         assert!(!s.knows_delivered(3, 0, 1));
+    }
+
+    #[test]
+    fn removed_member_no_longer_gates_stability() {
+        let mut s = StabilityTracker::new(3);
+        s.record_local_delivery(0, 0, 2);
+        s.update_row(1, &VectorClock::from_entries(vec![2, 0, 0]));
+        // Member 2 never acked; the frontier is stuck at 0.
+        assert_eq!(s.stable_frontier().get(0), 0);
+        assert!(!s.is_stable(0, 2));
+        // A view change removes member 2: the survivors' knowledge now
+        // suffices and GC can proceed.
+        s.set_members(&[0, 1]);
+        assert_eq!(s.stable_frontier().get(0), 2);
+        assert!(s.is_stable(0, 2));
+        assert!(!s.is_stable(0, 3));
     }
 
     #[test]

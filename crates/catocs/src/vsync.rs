@@ -1,0 +1,1102 @@
+//! Virtual-synchrony chaos campaigns and the invariant checker behind
+//! them.
+//!
+//! A campaign runs a full group — [`CbcastEndpoint`] + [`FailureDetector`]
+//! + [`MembershipEngine`] wired into one [`ChaosNode`] per process — under
+//! a seed-derived [`FaultPlan`] (partitions, heals, crashes, recoveries,
+//! loss/duplication/delay episodes), then replays every process's event
+//! log through [`check`], which asserts the virtual-synchrony contract:
+//!
+//! - **View agreement**: any view id installed by two processes has the
+//!   same membership and the same flush cut at both.
+//! - **View monotonicity**: each process installs strictly increasing
+//!   view ids, and every survivor installs the final view.
+//! - **Exactly-once**: no process delivers the same message twice.
+//! - **Causal order**: replaying each process's deliveries against the
+//!   senders' vector timestamps never finds a FIFO gap or a delivery
+//!   ahead of an undelivered causal predecessor — across view changes.
+//! - **Cut discipline**: after a process installs a view that removes a
+//!   sender, it delivers nothing of that sender beyond the agreed flush
+//!   cut (at-or-below the cut is the old view's agreed history and stays
+//!   deliverable).
+//! - **Convergence**: survivors end with identical delivered clocks,
+//!   unfrozen, with no parked delta timestamps and no decode errors —
+//!   unless the run ended in a legitimate primary-partition block (the
+//!   survivors are not a strict majority of the final view), in which
+//!   case the group wedges *by design* and only the safety invariants
+//!   above are enforced. See [`is_blocked`].
+//!
+//! The checker is pure — it sees only [`ProcessLog`]s — so the regression
+//! tests can also feed it hand-built histories. [`BugKnobs`] reintroduce
+//! the three bugs these campaigns originally flushed out (cold-start
+//! false suspicion on recovery, flush retries disabled, stale delta
+//! decode chains across view installs) so each fix keeps a failing seed
+//! pinned against it.
+
+use crate::cbcast::CbcastEndpoint;
+use crate::failure::FailureDetector;
+use crate::group::{GroupConfig, MsgId};
+use crate::membership::{FlushAction, MembershipEngine};
+use crate::wire::{Dest, Out, Wire};
+use clocks::vector::VectorClock;
+use simnet::fault::{FaultPlan, FaultPlanConfig};
+use simnet::net::NetConfig;
+use simnet::process::{Ctx, Process, ProcessId, TimerId};
+use simnet::sim::SimBuilder;
+use simnet::time::{SimDuration, SimTime};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// One entry in a process's chronological event log.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NodeEvent {
+    /// This process multicast a message with the given vector timestamp.
+    Send { id: MsgId, vt: VectorClock },
+    /// This process delivered a message to the application.
+    Deliver { id: MsgId },
+    /// This process installed a view (id, member indices, flush cut).
+    Install {
+        id: u64,
+        members: Vec<usize>,
+        cut: VectorClock,
+    },
+}
+
+/// Everything the checker knows about one process after a campaign run.
+#[derive(Clone, Debug)]
+pub struct ProcessLog {
+    /// Member index.
+    pub who: usize,
+    /// Whether the process was up at the horizon.
+    pub alive_at_end: bool,
+    /// Chronological sends, deliveries and view installs.
+    pub events: Vec<NodeEvent>,
+    /// The endpoint's delivered clock at the horizon.
+    pub final_clock: VectorClock,
+    /// Delta-timestamp decode failures over the run.
+    pub decode_errors: u64,
+    /// Delta messages still parked (undecodable) at the horizon.
+    pub parked: u64,
+    /// Whether delivery was still frozen (flush never completed).
+    pub frozen: bool,
+}
+
+/// One virtual-synchrony invariant violation found by [`check`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Violation {
+    /// Two processes installed the same view id with different
+    /// membership or a different flush cut.
+    ViewDisagreement { id: u64, a: usize, b: usize },
+    /// A process installed a view id not greater than its previous one.
+    ViewNotMonotone { who: usize, prev: u64, next: u64 },
+    /// A live member of the final view never installed it.
+    SurvivorMissedFinalView {
+        who: usize,
+        expected: u64,
+        got: Option<u64>,
+    },
+    /// A process delivered the same message twice.
+    DuplicateDelivery { who: usize, id: MsgId },
+    /// A delivery skipped or repeated a sender sequence number.
+    FifoGap {
+        who: usize,
+        id: MsgId,
+        expected_seq: u64,
+    },
+    /// A delivery happened before one of its causal predecessors.
+    CausalOrder {
+        who: usize,
+        id: MsgId,
+        lagging: usize,
+        have: u64,
+        need: u64,
+    },
+    /// A delivery from a removed sender beyond that sender's flush cut,
+    /// after the removing view was installed.
+    BeyondCutDelivery { who: usize, id: MsgId, cut: u64 },
+    /// A delivery of a message no process ever logged sending.
+    UnknownMessage { who: usize, id: MsgId },
+    /// Two survivors ended with different delivered clocks.
+    ClockDivergence { a: usize, b: usize },
+    /// A survivor's delivery was still frozen at the horizon.
+    FrozenAtEnd { who: usize },
+    /// A survivor hit delta-timestamp decode errors.
+    DecodeErrors { who: usize, count: u64 },
+    /// A survivor still had parked (undecodable) deltas at the horizon.
+    ParkedAtEnd { who: usize, count: u64 },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::ViewDisagreement { id, a, b } => {
+                write!(f, "view {id} differs between p{a} and p{b}")
+            }
+            Violation::ViewNotMonotone { who, prev, next } => {
+                write!(f, "p{who} installed view {next} after view {prev}")
+            }
+            Violation::SurvivorMissedFinalView { who, expected, got } => {
+                write!(f, "survivor p{who} stopped at view {got:?}, final is {expected}")
+            }
+            Violation::DuplicateDelivery { who, id } => {
+                write!(f, "p{who} delivered {}:{} twice", id.sender, id.seq)
+            }
+            Violation::FifoGap {
+                who,
+                id,
+                expected_seq,
+            } => write!(
+                f,
+                "p{who} delivered {}:{} but expected seq {expected_seq}",
+                id.sender, id.seq
+            ),
+            Violation::CausalOrder {
+                who,
+                id,
+                lagging,
+                have,
+                need,
+            } => write!(
+                f,
+                "p{who} delivered {}:{} needing {need} from p{lagging} but had {have}",
+                id.sender, id.seq
+            ),
+            Violation::BeyondCutDelivery { who, id, cut } => write!(
+                f,
+                "p{who} delivered {}:{} beyond removed sender's cut {cut}",
+                id.sender, id.seq
+            ),
+            Violation::UnknownMessage { who, id } => {
+                write!(f, "p{who} delivered unsent message {}:{}", id.sender, id.seq)
+            }
+            Violation::ClockDivergence { a, b } => {
+                write!(f, "survivors p{a} and p{b} ended with different clocks")
+            }
+            Violation::FrozenAtEnd { who } => {
+                write!(f, "survivor p{who} still frozen at horizon")
+            }
+            Violation::DecodeErrors { who, count } => {
+                write!(f, "survivor p{who} hit {count} delta decode errors")
+            }
+            Violation::ParkedAtEnd { who, count } => {
+                write!(f, "survivor p{who} still has {count} parked deltas")
+            }
+        }
+    }
+}
+
+/// The highest view installed by any live process, with its membership.
+fn final_installed_view(logs: &[ProcessLog]) -> Option<(u64, Vec<usize>)> {
+    let mut best: Option<(u64, Vec<usize>)> = None;
+    for log in logs.iter().filter(|l| l.alive_at_end) {
+        for ev in &log.events {
+            if let NodeEvent::Install { id, members, .. } = ev {
+                if best.as_ref().is_none_or(|(b, _)| id > b) {
+                    best = Some((*id, members.clone()));
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Whether the group ended in a legitimate primary-partition block: the
+/// live members of the final installed view are not a strict majority of
+/// it, so no further view can be installed and flushes in flight wedge
+/// by design. (The fault generator bounds *concurrent* crashes to
+/// `(n-1)/2` of the original group, but evictions compound: a partition
+/// can shrink the view first, and crashes of half the shrunken view then
+/// block it — seed 77 of the default campaign is the canonical case.)
+pub fn is_blocked(logs: &[ProcessLog]) -> bool {
+    match final_installed_view(logs) {
+        Some((_, members)) => {
+            let live = members
+                .iter()
+                .filter(|m| logs.iter().any(|l| l.who == **m && l.alive_at_end))
+                .count();
+            2 * live <= members.len()
+        }
+        None => {
+            let live = logs.iter().filter(|l| l.alive_at_end).count();
+            2 * live <= logs.len()
+        }
+    }
+}
+
+/// Replays a set of per-process logs and returns every virtual-synchrony
+/// violation found. Empty means the run upheld the contract.
+pub fn check(logs: &[ProcessLog]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+
+    // Sender timestamps, from the send records. Senders keep their state
+    // across crashes in the simulator, so every delivered message has a
+    // surviving send record.
+    let mut sends: BTreeMap<MsgId, VectorClock> = BTreeMap::new();
+    for log in logs {
+        for ev in &log.events {
+            if let NodeEvent::Send { id, vt } = ev {
+                sends.insert(*id, vt.clone());
+            }
+        }
+    }
+
+    // View agreement: same id => same members and cut everywhere.
+    let mut views: BTreeMap<u64, (usize, Vec<usize>, VectorClock)> = BTreeMap::new();
+    for log in logs {
+        for ev in &log.events {
+            if let NodeEvent::Install { id, members, cut } = ev {
+                match views.get(id) {
+                    None => {
+                        views.insert(*id, (log.who, members.clone(), cut.clone()));
+                    }
+                    Some((first, m, c)) => {
+                        if m != members || c != cut {
+                            violations.push(Violation::ViewDisagreement {
+                                id: *id,
+                                a: *first,
+                                b: log.who,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Per-process replay: monotone views, exactly-once, causal order,
+    // and the flush-cut rule for removed senders.
+    for log in logs {
+        let mut vc: Option<VectorClock> = None;
+        let mut last_view: Option<u64> = None;
+        let mut members: Option<BTreeSet<usize>> = None;
+        let mut removed: BTreeMap<usize, u64> = BTreeMap::new();
+        let mut delivered: BTreeSet<MsgId> = BTreeSet::new();
+        for ev in &log.events {
+            match ev {
+                NodeEvent::Send { .. } => {}
+                NodeEvent::Install { id, members: m, cut } => {
+                    if let Some(prev) = last_view {
+                        if *id <= prev {
+                            violations.push(Violation::ViewNotMonotone {
+                                who: log.who,
+                                prev,
+                                next: *id,
+                            });
+                        }
+                    }
+                    last_view = Some(*id);
+                    let next: BTreeSet<usize> = m.iter().copied().collect();
+                    let prev_members = members
+                        .take()
+                        .unwrap_or_else(|| (0..cut.len()).collect());
+                    for s in prev_members.difference(&next) {
+                        removed.entry(*s).or_insert_with(|| cut.get(*s));
+                    }
+                    members = Some(next);
+                }
+                NodeEvent::Deliver { id } => {
+                    if !delivered.insert(*id) {
+                        violations.push(Violation::DuplicateDelivery { who: log.who, id: *id });
+                        continue;
+                    }
+                    if let Some(cut) = removed.get(&id.sender) {
+                        if id.seq > *cut {
+                            violations.push(Violation::BeyondCutDelivery {
+                                who: log.who,
+                                id: *id,
+                                cut: *cut,
+                            });
+                        }
+                    }
+                    let Some(mvt) = sends.get(id) else {
+                        violations.push(Violation::UnknownMessage { who: log.who, id: *id });
+                        continue;
+                    };
+                    let clock = vc.get_or_insert_with(|| VectorClock::new(mvt.len()));
+                    if mvt.get(id.sender) != clock.get(id.sender) + 1 {
+                        violations.push(Violation::FifoGap {
+                            who: log.who,
+                            id: *id,
+                            expected_seq: clock.get(id.sender) + 1,
+                        });
+                    }
+                    for k in 0..mvt.len() {
+                        if k != id.sender && mvt.get(k) > clock.get(k) {
+                            violations.push(Violation::CausalOrder {
+                                who: log.who,
+                                id: *id,
+                                lagging: k,
+                                have: clock.get(k),
+                                need: mvt.get(k),
+                            });
+                            break;
+                        }
+                    }
+                    // Advance even past a violation so one fault does not
+                    // cascade into a violation per subsequent delivery.
+                    if id.seq > clock.get(id.sender) {
+                        clock.set(id.sender, id.seq);
+                    }
+                }
+            }
+        }
+    }
+
+    // Survivors: live members of the final view installed by any live
+    // process. They must all have installed it, agree on their delivered
+    // clocks, and be healthy (thawed, nothing parked, no decode errors).
+    //
+    // Exception: when the survivors are not a strict majority of the
+    // final view, the primary-partition rule *requires* the group to
+    // block rather than risk split-brain — survivors legitimately wedge
+    // mid-flush, frozen, with diverging clocks. The safety checks above
+    // still apply in full; only the convergence checks are waived.
+    if is_blocked(logs) {
+        return violations;
+    }
+    let final_view = final_installed_view(logs);
+    let survivors: Vec<&ProcessLog> = match &final_view {
+        Some((id, members)) => {
+            for log in logs.iter().filter(|l| l.alive_at_end) {
+                if !members.contains(&log.who) {
+                    continue;
+                }
+                let got = log
+                    .events
+                    .iter()
+                    .rev()
+                    .find_map(|ev| match ev {
+                        NodeEvent::Install { id, .. } => Some(*id),
+                        _ => None,
+                    });
+                if got != Some(*id) {
+                    violations.push(Violation::SurvivorMissedFinalView {
+                        who: log.who,
+                        expected: *id,
+                        got,
+                    });
+                }
+            }
+            logs.iter()
+                .filter(|l| l.alive_at_end && members.contains(&l.who))
+                .collect()
+        }
+        None => logs.iter().filter(|l| l.alive_at_end).collect(),
+    };
+    if let Some(first) = survivors.first() {
+        for other in &survivors[1..] {
+            if other.final_clock != first.final_clock {
+                violations.push(Violation::ClockDivergence {
+                    a: first.who,
+                    b: other.who,
+                });
+            }
+        }
+    }
+    for s in &survivors {
+        if s.frozen {
+            violations.push(Violation::FrozenAtEnd { who: s.who });
+        }
+        if s.decode_errors > 0 {
+            violations.push(Violation::DecodeErrors {
+                who: s.who,
+                count: s.decode_errors,
+            });
+        }
+        if s.parked > 0 {
+            violations.push(Violation::ParkedAtEnd {
+                who: s.who,
+                count: s.parked,
+            });
+        }
+    }
+
+    violations
+}
+
+/// Regression knobs: each reintroduces one bug the campaigns flushed
+/// out, so a pinned seed can demonstrate the failure the fix removed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BugKnobs {
+    /// Skip `FailureDetector::reset` on recovery: the recovered process
+    /// reads its stale pre-crash heartbeat table and immediately
+    /// suspects live members (the S1 cold-start bug).
+    pub no_detector_reset: bool,
+    /// Disable flush retransmission: one lost flush message wedges the
+    /// view change and freezes delivery forever (the S2 stall bug).
+    pub no_flush_retry: bool,
+    /// Keep delta decode chains across view installs: parked deltas from
+    /// an evicted sender survive the flush and can decode against a
+    /// stale base later (the S3 stale-chain bug).
+    pub no_chain_reset: bool,
+}
+
+/// Tunables for one campaign run.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Group size.
+    pub n: usize,
+    /// Fault schedule shape (horizon, settle tail, gaps).
+    pub plan: FaultPlanConfig,
+    /// Endpoint configuration (holdback index, delta timestamps, ...).
+    pub group: GroupConfig,
+    /// Application multicast period.
+    pub app_every: SimDuration,
+    /// Baseline network drop probability (faults add on top).
+    pub drop_probability: f64,
+    /// Reintroduced bugs, if any.
+    pub knobs: BugKnobs,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            n: 5,
+            plan: FaultPlanConfig::default(),
+            group: GroupConfig::default(),
+            app_every: SimDuration::from_millis(25),
+            drop_probability: 0.02,
+            knobs: BugKnobs::default(),
+        }
+    }
+}
+
+/// The outcome of one seeded campaign run.
+#[derive(Clone, Debug)]
+pub struct CampaignResult {
+    /// Seed the run (sim + fault plan) was derived from.
+    pub seed: u64,
+    /// The fault schedule that was injected.
+    pub plan: FaultPlan,
+    /// Per-process logs (checker input; useful for post-mortems).
+    pub logs: Vec<ProcessLog>,
+    /// Violations found by [`check`].
+    pub violations: Vec<Violation>,
+    /// Highest view id installed anywhere.
+    pub views_installed: u64,
+    /// Total deliveries across all processes.
+    pub delivered_total: u64,
+    /// Live processes excluded from the final view (false or healed-away
+    /// suspicions, or recovered crashes).
+    pub evicted_live: Vec<usize>,
+    /// Members of the final view that were up at the horizon.
+    pub survivors: Vec<usize>,
+    /// The run ended in a legitimate primary-partition block (survivors
+    /// short of a strict majority of the final view); convergence checks
+    /// were waived, safety checks still ran.
+    pub blocked: bool,
+    /// Order-sensitive digest of every log (replay determinism check).
+    pub digest: u64,
+}
+
+const TICK: TimerId = TimerId(0);
+const APP: TimerId = TimerId(1);
+const TICK_EVERY: SimDuration = SimDuration::from_millis(10);
+const HEARTBEAT_EVERY: SimDuration = SimDuration::from_millis(20);
+const SUSPECT_AFTER: SimDuration = SimDuration::from_millis(100);
+
+/// A full virtual-synchrony member under chaos: endpoint + failure
+/// detector + membership engine, logging everything the checker needs.
+pub struct ChaosNode {
+    me: usize,
+    n: usize,
+    endpoint: CbcastEndpoint<u64>,
+    detector: FailureDetector,
+    engine: MembershipEngine,
+    knobs: BugKnobs,
+    /// No multicasts after this point, so the settle tail can converge.
+    send_until: SimTime,
+    app_every: SimDuration,
+    next: u64,
+    /// Chronological log for the invariant checker.
+    pub events: Vec<NodeEvent>,
+    // Expected fire times. A crash drops the pending timer for a downed
+    // process, so `on_recover` re-arms — but a timer armed just before
+    // the crash can still fire after recovery, forking a second timer
+    // chain. Fires that don't match the expected time are stale chains
+    // and get ignored.
+    armed_tick: SimTime,
+    armed_app: SimTime,
+}
+
+impl ChaosNode {
+    /// Creates member `me` under the campaign's config.
+    pub fn new(me: usize, cfg: &CampaignConfig) -> Self {
+        let mut endpoint = CbcastEndpoint::new(me, cfg.n, cfg.group.clone());
+        if cfg.knobs.no_chain_reset {
+            endpoint.debug_skip_view_reset(true);
+        }
+        let mut engine = MembershipEngine::new(me, cfg.n);
+        if cfg.knobs.no_flush_retry {
+            // Effectively never: any lost flush message wedges the change.
+            engine.set_retry_interval(SimDuration::from_secs(86_400));
+        }
+        ChaosNode {
+            me,
+            n: cfg.n,
+            endpoint,
+            detector: FailureDetector::new(
+                me,
+                cfg.n,
+                HEARTBEAT_EVERY,
+                SUSPECT_AFTER,
+                SimTime::ZERO,
+            ),
+            engine,
+            knobs: cfg.knobs,
+            send_until: cfg.plan.horizon - cfg.plan.settle,
+            app_every: cfg.app_every,
+            next: 0,
+            events: Vec::new(),
+            armed_tick: SimTime::ZERO,
+            armed_app: SimTime::ZERO,
+        }
+    }
+
+    /// The endpoint (read post-run).
+    pub fn endpoint(&self) -> &CbcastEndpoint<u64> {
+        &self.endpoint
+    }
+
+    /// The membership engine (read post-run).
+    pub fn engine(&self) -> &MembershipEngine {
+        &self.engine
+    }
+
+    fn route(&self, ctx: &mut Ctx<'_, Wire<u64>>, out: Vec<Out<u64>>) {
+        for (dest, w) in out {
+            match dest {
+                Dest::All => {
+                    for k in 0..self.n {
+                        if k != self.me {
+                            ctx.send(ProcessId(k), w.clone());
+                        }
+                    }
+                }
+                Dest::One(k) => ctx.send(ProcessId(k), w),
+            }
+        }
+    }
+
+    fn log_deliveries(&mut self, dels: Vec<crate::wire::Delivery<u64>>) {
+        for d in dels {
+            self.events.push(NodeEvent::Deliver { id: d.id });
+        }
+    }
+
+    fn handle_action(&mut self, ctx: &mut Ctx<'_, Wire<u64>>, action: FlushAction) {
+        match action {
+            FlushAction::RetransmitUnstable => {
+                let flushed = self.endpoint.flush_unstable();
+                self.route(ctx, flushed);
+                // Delivery blackout: our FlushOk clock must stay an upper
+                // bound on what we have delivered until the view installs.
+                self.endpoint.freeze();
+            }
+            FlushAction::ViewInstalled { view, cut } => {
+                let members: Vec<usize> = view.members.iter().map(|p| p.0).collect();
+                self.events.push(NodeEvent::Install {
+                    id: view.id.0,
+                    members: members.clone(),
+                    cut: cut.clone(),
+                });
+                let thawed = self.endpoint.on_view_install(ctx.now(), &members, &cut);
+                self.log_deliveries(thawed);
+            }
+            FlushAction::None => {}
+        }
+    }
+
+    fn is_member(&self) -> bool {
+        self.engine
+            .view()
+            .members
+            .iter()
+            .any(|p| p.0 == self.me)
+    }
+}
+
+impl Process<Wire<u64>> for ChaosNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Wire<u64>>) {
+        self.armed_tick = ctx.now() + TICK_EVERY;
+        ctx.set_timer(TICK, TICK_EVERY);
+        self.armed_app = ctx.now() + self.app_every;
+        ctx.set_timer(APP, self.app_every);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Wire<u64>>, _f: ProcessId, msg: Wire<u64>) {
+        match &msg {
+            Wire::Heartbeat { from, view_id } => {
+                self.detector.heard_from(*from, ctx.now());
+                let out = self.engine.on_heartbeat(*from, *view_id);
+                self.route(ctx, out);
+            }
+            Wire::Flush { .. } | Wire::FlushOk { .. } | Wire::Install { .. } => {
+                let clock = self.endpoint.clock().clone();
+                let (action, out) = self.engine.on_wire(ctx.now(), &msg, &clock);
+                self.route(ctx, out);
+                self.handle_action(ctx, action);
+            }
+            _ => {
+                let (dels, out) = self.endpoint.on_wire(ctx.now(), msg);
+                self.route(ctx, out);
+                self.log_deliveries(dels);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Wire<u64>>, t: TimerId) {
+        match t {
+            TICK => {
+                if ctx.now() != self.armed_tick {
+                    return; // stale chain from before a crash
+                }
+                let out = self.endpoint.on_tick(ctx.now());
+                self.route(ctx, out);
+                if self.detector.should_beat(ctx.now()) {
+                    let hb = Wire::Heartbeat {
+                        from: self.me,
+                        view_id: self.engine.view().id,
+                    };
+                    self.route(ctx, vec![(Dest::All, hb)]);
+                }
+                // Full suspect set every tick (not just new suspicions):
+                // this is what re-derives a completable proposal after a
+                // flush wedges on a member that died before acking.
+                self.detector.check(ctx.now());
+                let suspects = self.detector.suspects();
+                if !suspects.is_empty() {
+                    let clock = self.endpoint.clock().clone();
+                    let (action, out) = self.engine.suspect(ctx.now(), &suspects, &clock);
+                    self.route(ctx, out);
+                    self.handle_action(ctx, action);
+                }
+                let clock = self.endpoint.clock().clone();
+                let retries = self.engine.on_tick(ctx.now(), &clock);
+                self.route(ctx, retries);
+                self.armed_tick = ctx.now() + TICK_EVERY;
+                ctx.set_timer(TICK, TICK_EVERY);
+            }
+            APP => {
+                if ctx.now() != self.armed_app {
+                    return;
+                }
+                // An evicted member stops originating traffic once it
+                // learns it is out; survivors would discard it anyway.
+                if ctx.now() < self.send_until && self.engine.can_send() && self.is_member() {
+                    self.next += 1;
+                    let (d, out) = self.endpoint.multicast(ctx.now(), self.next);
+                    let vt = self.endpoint.clock().clone();
+                    self.events.push(NodeEvent::Send { id: d.id, vt });
+                    self.events.push(NodeEvent::Deliver { id: d.id });
+                    self.route(ctx, out);
+                }
+                self.armed_app = ctx.now() + self.app_every;
+                ctx.set_timer(APP, self.app_every);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_recover(&mut self, ctx: &mut Ctx<'_, Wire<u64>>) {
+        if !self.knobs.no_detector_reset {
+            // S1 fix: the heartbeat table is stale by the whole outage;
+            // without a reset every peer looks dead on the next check.
+            self.detector.reset(ctx.now());
+        }
+        self.armed_tick = ctx.now() + TICK_EVERY;
+        ctx.set_timer(TICK, TICK_EVERY);
+        self.armed_app = ctx.now() + self.app_every;
+        ctx.set_timer(APP, self.app_every);
+    }
+}
+
+fn fnv1a(digest: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *digest ^= b as u64;
+        *digest = digest.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+fn digest_logs(logs: &[ProcessLog]) -> u64 {
+    let mut d: u64 = 0xcbf2_9ce4_8422_2325;
+    for log in logs {
+        fnv1a(&mut d, &(log.who as u64).to_le_bytes());
+        fnv1a(&mut d, &[log.alive_at_end as u8, log.frozen as u8]);
+        fnv1a(&mut d, &log.final_clock.encode());
+        for ev in &log.events {
+            match ev {
+                NodeEvent::Send { id, vt } => {
+                    fnv1a(&mut d, b"S");
+                    fnv1a(&mut d, &(id.sender as u64).to_le_bytes());
+                    fnv1a(&mut d, &id.seq.to_le_bytes());
+                    fnv1a(&mut d, &vt.encode());
+                }
+                NodeEvent::Deliver { id } => {
+                    fnv1a(&mut d, b"D");
+                    fnv1a(&mut d, &(id.sender as u64).to_le_bytes());
+                    fnv1a(&mut d, &id.seq.to_le_bytes());
+                }
+                NodeEvent::Install { id, members, cut } => {
+                    fnv1a(&mut d, b"I");
+                    fnv1a(&mut d, &id.to_le_bytes());
+                    for m in members {
+                        fnv1a(&mut d, &(*m as u64).to_le_bytes());
+                    }
+                    fnv1a(&mut d, &cut.encode());
+                }
+            }
+        }
+    }
+    d
+}
+
+/// Runs one seeded campaign: generate the fault plan, run the group
+/// under it, extract the logs, and check the invariants.
+pub fn run_campaign(seed: u64, cfg: &CampaignConfig) -> CampaignResult {
+    let plan = FaultPlan::generate(seed, cfg.n, &cfg.plan);
+    let mut sim = SimBuilder::new(seed)
+        .net(NetConfig::lossy_lan(cfg.drop_probability))
+        .build::<Wire<u64>>();
+    for me in 0..cfg.n {
+        sim.add_process(ChaosNode::new(me, cfg));
+    }
+    plan.apply(&mut sim);
+    sim.run_until(cfg.plan.horizon);
+
+    let crashed = plan.crashed_at_horizon();
+    let mut logs = Vec::with_capacity(cfg.n);
+    for p in 0..cfg.n {
+        let node: &ChaosNode = sim.process(ProcessId(p)).expect("chaos node present");
+        logs.push(ProcessLog {
+            who: p,
+            alive_at_end: !crashed.contains(&p),
+            events: node.events.clone(),
+            final_clock: node.endpoint.clock().clone(),
+            decode_errors: node.endpoint.stats().ts_decode_errors,
+            parked: node.endpoint.parked_len() as u64,
+            frozen: node.endpoint.is_frozen(),
+        });
+        if std::env::var("CHAOS_ENGINE_DEBUG").is_ok() {
+            eprintln!(
+                "p{p}: view={:?} proposal={:?} suspects={:?}",
+                node.engine.view(),
+                node.engine.proposal(),
+                node.detector.suspects(),
+            );
+        }
+    }
+
+    let violations = check(&logs);
+    let views_installed = logs
+        .iter()
+        .flat_map(|l| &l.events)
+        .filter_map(|ev| match ev {
+            NodeEvent::Install { id, .. } => Some(*id),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+    let delivered_total = logs
+        .iter()
+        .flat_map(|l| &l.events)
+        .filter(|ev| matches!(ev, NodeEvent::Deliver { .. }))
+        .count() as u64;
+    let final_members: Vec<usize> = logs
+        .iter()
+        .filter(|l| l.alive_at_end)
+        .flat_map(|l| &l.events)
+        .filter_map(|ev| match ev {
+            NodeEvent::Install { id, members, .. } => Some((*id, members.clone())),
+            _ => None,
+        })
+        .max_by_key(|(id, _)| *id)
+        .map(|(_, m)| m)
+        .unwrap_or_else(|| (0..cfg.n).collect());
+    let survivors: Vec<usize> = final_members
+        .iter()
+        .copied()
+        .filter(|p| !crashed.contains(p))
+        .collect();
+    let evicted_live: Vec<usize> = (0..cfg.n)
+        .filter(|p| !crashed.contains(p) && !final_members.contains(p))
+        .collect();
+    let digest = digest_logs(&logs);
+    let blocked = is_blocked(&logs);
+
+    CampaignResult {
+        seed,
+        plan,
+        logs,
+        violations,
+        views_installed,
+        delivered_total,
+        evicted_live,
+        survivors,
+        blocked,
+        digest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vt(entries: &[u64]) -> VectorClock {
+        VectorClock::from_entries(entries.to_vec())
+    }
+
+    fn id(sender: usize, seq: u64) -> MsgId {
+        MsgId { sender, seq }
+    }
+
+    fn quiet_log(who: usize) -> ProcessLog {
+        ProcessLog {
+            who,
+            alive_at_end: true,
+            events: Vec::new(),
+            final_clock: VectorClock::new(3),
+            decode_errors: 0,
+            parked: 0,
+            frozen: false,
+        }
+    }
+
+    #[test]
+    fn empty_history_is_clean() {
+        let logs: Vec<ProcessLog> = (0..3).map(quiet_log).collect();
+        assert!(check(&logs).is_empty());
+    }
+
+    #[test]
+    fn checker_flags_duplicate_delivery() {
+        let mut logs: Vec<ProcessLog> = (0..3).map(quiet_log).collect();
+        logs[0].events = vec![
+            NodeEvent::Send {
+                id: id(0, 1),
+                vt: vt(&[1, 0, 0]),
+            },
+            NodeEvent::Deliver { id: id(0, 1) },
+            NodeEvent::Deliver { id: id(0, 1) },
+        ];
+        logs[0].final_clock = vt(&[1, 0, 0]);
+        let v = check(&logs);
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::DuplicateDelivery { who: 0, .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn checker_flags_causal_inversion() {
+        // p1 delivers p0's second message before the first.
+        let mut logs: Vec<ProcessLog> = (0..3).map(quiet_log).collect();
+        logs[0].events = vec![
+            NodeEvent::Send {
+                id: id(0, 1),
+                vt: vt(&[1, 0, 0]),
+            },
+            NodeEvent::Deliver { id: id(0, 1) },
+            NodeEvent::Send {
+                id: id(0, 2),
+                vt: vt(&[2, 0, 0]),
+            },
+            NodeEvent::Deliver { id: id(0, 2) },
+        ];
+        logs[0].final_clock = vt(&[2, 0, 0]);
+        logs[1].events = vec![
+            NodeEvent::Deliver { id: id(0, 2) },
+            NodeEvent::Deliver { id: id(0, 1) },
+        ];
+        logs[1].final_clock = vt(&[2, 0, 0]);
+        logs[2].final_clock = vt(&[2, 0, 0]);
+        logs[2].events = vec![
+            NodeEvent::Deliver { id: id(0, 1) },
+            NodeEvent::Deliver { id: id(0, 2) },
+        ];
+        let v = check(&logs);
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::FifoGap { who: 1, .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn checker_flags_beyond_cut_delivery() {
+        // View 1 removes p2 with cut[2] = 1; p0 then delivers 2:2.
+        let mut logs: Vec<ProcessLog> = (0..3).map(quiet_log).collect();
+        let sends = vec![
+            NodeEvent::Send {
+                id: id(2, 1),
+                vt: vt(&[0, 0, 1]),
+            },
+            NodeEvent::Send {
+                id: id(2, 2),
+                vt: vt(&[0, 0, 2]),
+            },
+        ];
+        logs[2].events = sends;
+        logs[2].alive_at_end = false;
+        logs[0].events = vec![
+            NodeEvent::Deliver { id: id(2, 1) },
+            NodeEvent::Install {
+                id: 1,
+                members: vec![0, 1],
+                cut: vt(&[0, 0, 1]),
+            },
+            NodeEvent::Deliver { id: id(2, 2) },
+        ];
+        logs[0].final_clock = vt(&[0, 0, 2]);
+        logs[1].events = vec![
+            NodeEvent::Deliver { id: id(2, 1) },
+            NodeEvent::Install {
+                id: 1,
+                members: vec![0, 1],
+                cut: vt(&[0, 0, 1]),
+            },
+        ];
+        logs[1].final_clock = vt(&[0, 0, 1]);
+        let v = check(&logs);
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::BeyondCutDelivery { who: 0, .. })),
+            "{v:?}"
+        );
+        assert!(
+            v.iter().any(|x| matches!(x, Violation::ClockDivergence { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn checker_flags_view_disagreement() {
+        let mut logs: Vec<ProcessLog> = (0..3).map(quiet_log).collect();
+        logs[0].events = vec![NodeEvent::Install {
+            id: 1,
+            members: vec![0, 1],
+            cut: vt(&[0, 0, 0]),
+        }];
+        logs[1].events = vec![NodeEvent::Install {
+            id: 1,
+            members: vec![0, 2],
+            cut: vt(&[0, 0, 0]),
+        }];
+        let v = check(&logs);
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::ViewDisagreement { id: 1, .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn agreed_history_below_cut_is_not_flagged() {
+        // Delivering a removed sender's message at-or-below the cut after
+        // the install is the agreed-history repair path, not a violation.
+        let mut logs: Vec<ProcessLog> = (0..3).map(quiet_log).collect();
+        logs[2].events = vec![NodeEvent::Send {
+            id: id(2, 1),
+            vt: vt(&[0, 0, 1]),
+        }];
+        logs[2].alive_at_end = false;
+        for w in 0..2 {
+            logs[w].events = vec![
+                NodeEvent::Install {
+                    id: 1,
+                    members: vec![0, 1],
+                    cut: vt(&[0, 0, 1]),
+                },
+                NodeEvent::Deliver { id: id(2, 1) },
+            ];
+            logs[w].final_clock = vt(&[0, 0, 1]);
+        }
+        assert!(check(&logs).is_empty());
+    }
+
+    #[test]
+    fn vanilla_campaign_upholds_invariants() {
+        let cfg = CampaignConfig::default();
+        for seed in [1, 7, 23] {
+            let r = run_campaign(seed, &cfg);
+            assert!(
+                r.violations.is_empty(),
+                "seed {seed}: {:?}\nplan: {}",
+                r.violations,
+                r.plan
+            );
+            assert!(r.delivered_total > 0, "seed {seed}: nothing delivered");
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let cfg = CampaignConfig::default();
+        let a = run_campaign(11, &cfg);
+        let b = run_campaign(11, &cfg);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.violations, b.violations);
+        assert_eq!(format!("{}", a.plan), format!("{}", b.plan));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+            /// Any seed-derived fault schedule, group size and
+            /// optimisation cell upholds the virtual-synchrony
+            /// invariants, and every pair of survivors delivered
+            /// identical per-sender prefixes: one's delivery sequence
+            /// from each sender is a prefix of the other's.
+            #[test]
+            fn random_fault_plans_uphold_virtual_synchrony(
+                seed in 0u64..10_000,
+                n in 3usize..8,
+                indexed in proptest::bool::ANY,
+                delta in proptest::bool::ANY,
+            ) {
+                let mut cfg = CampaignConfig::default();
+                cfg.n = n;
+                cfg.group.indexed_holdback = indexed;
+                cfg.group.delta_timestamps = delta;
+                let r = run_campaign(seed, &cfg);
+                prop_assert!(
+                    r.violations.is_empty(),
+                    "seed {seed} n={n} indexed={indexed} delta={delta}: {:?}\n{}",
+                    r.violations,
+                    r.plan
+                );
+                // Per-sender delivery sequences, derived independently of
+                // the checker's replay.
+                let mut per_proc: Vec<Vec<Vec<u64>>> = Vec::new();
+                for log in r.logs.iter().filter(|l| r.survivors.contains(&l.who)) {
+                    let mut seqs = vec![Vec::new(); n];
+                    for ev in &log.events {
+                        if let NodeEvent::Deliver { id } = ev {
+                            seqs[id.sender].push(id.seq);
+                        }
+                    }
+                    per_proc.push(seqs);
+                }
+                for a in 0..per_proc.len() {
+                    for b in a + 1..per_proc.len() {
+                        for s in 0..n {
+                            let (x, y) = (&per_proc[a][s], &per_proc[b][s]);
+                            let k = x.len().min(y.len());
+                            prop_assert_eq!(
+                                &x[..k],
+                                &y[..k],
+                                "seed {} sender {}: survivors disagree on a prefix",
+                                seed,
+                                s
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -144,10 +144,18 @@ pub enum Wire<P> {
         from: usize,
         delivered: VectorClock,
     },
-    /// Membership: coordinator installs the new view.
-    Install { view: View },
-    /// Liveness probe for the failure detector.
-    Heartbeat { from: usize },
+    /// Membership: coordinator installs the new view. `cut` is the flush
+    /// cut — the component-wise max of every member's `FlushOk` delivered
+    /// clock. Messages from removed senders at or below the cut are still
+    /// part of the old view's agreed history and remain deliverable;
+    /// anything beyond it is discarded.
+    Install { view: View, cut: VectorClock },
+    /// Liveness probe for the failure detector. Carries the sender's
+    /// installed view id as cheap anti-entropy: a receiver with a newer
+    /// view replies with its `Install`, repairing stragglers that missed
+    /// one (a lost Install otherwise leaves a member frozen in the old
+    /// view with no retry path pointed at it).
+    Heartbeat { from: usize, view_id: ViewId },
 }
 
 impl<P> Wire<P> {
@@ -175,8 +183,8 @@ impl<P> Wire<P> {
             Wire::TokenAck { .. } => 8,
             Wire::Flush { proposed, .. } => 12 + 8 * proposed.members.len(),
             Wire::FlushOk { delivered, .. } => 12 + delivered.encode().len(),
-            Wire::Install { view } => 8 + 8 * view.members.len(),
-            Wire::Heartbeat { .. } => 4,
+            Wire::Install { view, cut } => 8 + 8 * view.members.len() + cut.encode().len(),
+            Wire::Heartbeat { .. } => 4 + 8,
         }
     }
 
@@ -286,6 +294,9 @@ pub struct EndpointStats {
     /// Received messages whose timestamp failed to decode (malformed or
     /// wrong width) and were dropped for NACK-driven recovery.
     pub ts_decode_errors: u64,
+    /// Data messages from a removed member beyond the flush cut, rejected
+    /// to preserve virtual synchrony.
+    pub rejected_removed: u64,
 }
 
 impl EndpointStats {
@@ -383,7 +394,10 @@ mod tests {
             (),
         ));
         assert!(!data.is_control());
-        let hb: Wire<()> = Wire::Heartbeat { from: 0 };
+        let hb: Wire<()> = Wire::Heartbeat {
+            from: 0,
+            view_id: ViewId(1),
+        };
         assert!(hb.is_control());
     }
 

@@ -35,6 +35,15 @@ pub enum EventKind<M> {
     },
     /// All partitions heal.
     PartitionHeal,
+    /// A network-degradation episode begins: burst loss, message
+    /// duplication, and/or inflated delays (see `NetState::degrade`).
+    NetDegrade {
+        extra_drop: f64,
+        dup_probability: f64,
+        delay_factor: f64,
+    },
+    /// Degradation ends; the network returns to its configured behaviour.
+    NetRestore,
 }
 
 /// An event with its scheduled time and tie-breaking sequence number.

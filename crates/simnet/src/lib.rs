@@ -50,6 +50,7 @@
 //! ```
 
 pub mod event;
+pub mod fault;
 pub mod metrics;
 pub mod net;
 pub mod process;
@@ -61,6 +62,7 @@ pub mod trace;
 /// Convenience re-exports for simulation authors.
 pub mod prelude {
     pub use crate::{
+        fault::{FaultKind, FaultPlan, FaultPlanConfig},
         net::{LatencyModel, NetConfig},
         process::{Ctx, Process, ProcessId, TimerId},
         sim::{Sim, SimBuilder},

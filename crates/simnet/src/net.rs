@@ -131,20 +131,72 @@ impl NetConfig {
     }
 }
 
-/// Runtime network state: partitions and per-link FIFO clocks.
-#[derive(Debug, Default)]
+/// Runtime network state: partitions, per-link FIFO clocks, and temporary
+/// degradation (burst loss, duplication, delay inflation) installed by
+/// fault schedules.
+#[derive(Debug)]
 pub struct NetState {
     /// Pairs (a,b) that cannot currently communicate (stored both ways).
     blocked: HashSet<(ProcessId, ProcessId)>,
     /// For FIFO links: the earliest time the next message on (from,to) may
     /// arrive, ensuring non-decreasing arrival times per link.
     link_clock: HashMap<(ProcessId, ProcessId), SimTime>,
+    /// Drop probability added to the config's while degraded (burst loss).
+    extra_drop: f64,
+    /// Probability a delivered message is duplicated while degraded.
+    dup_probability: f64,
+    /// Multiplier applied to sampled one-way delays while degraded.
+    delay_factor: f64,
+}
+
+impl Default for NetState {
+    fn default() -> Self {
+        NetState {
+            blocked: HashSet::new(),
+            link_clock: HashMap::new(),
+            extra_drop: 0.0,
+            dup_probability: 0.0,
+            delay_factor: 1.0,
+        }
+    }
 }
 
 impl NetState {
     /// Creates an unpartitioned network state.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Installs a network-degradation episode: `extra_drop` is added to
+    /// the configured drop probability, `dup_probability` duplicates
+    /// delivered messages, and sampled delays are multiplied by
+    /// `delay_factor`.
+    pub fn degrade(&mut self, extra_drop: f64, dup_probability: f64, delay_factor: f64) {
+        self.extra_drop = extra_drop.clamp(0.0, 1.0);
+        self.dup_probability = dup_probability.clamp(0.0, 1.0);
+        self.delay_factor = delay_factor.max(0.0);
+    }
+
+    /// Ends any degradation episode.
+    pub fn restore(&mut self) {
+        self.extra_drop = 0.0;
+        self.dup_probability = 0.0;
+        self.delay_factor = 1.0;
+    }
+
+    /// Extra drop probability currently in force.
+    pub fn extra_drop(&self) -> f64 {
+        self.extra_drop
+    }
+
+    /// Duplication probability currently in force.
+    pub fn dup_probability(&self) -> f64 {
+        self.dup_probability
+    }
+
+    /// Delay multiplier currently in force.
+    pub fn delay_factor(&self) -> f64 {
+        self.delay_factor
     }
 
     /// Installs a bidirectional partition between groups `a` and `b`.
@@ -261,6 +313,21 @@ mod tests {
         assert_eq!(st.blocked_pairs(), 4);
         st.heal();
         assert!(st.reachable(ProcessId(0), ProcessId(1)));
+    }
+
+    #[test]
+    fn degrade_and_restore() {
+        let mut st = NetState::new();
+        assert_eq!(st.extra_drop(), 0.0);
+        assert_eq!(st.delay_factor(), 1.0);
+        st.degrade(1.5, 0.2, 3.0); // extra_drop clamps to 1.0
+        assert_eq!(st.extra_drop(), 1.0);
+        assert_eq!(st.dup_probability(), 0.2);
+        assert_eq!(st.delay_factor(), 3.0);
+        st.restore();
+        assert_eq!(st.extra_drop(), 0.0);
+        assert_eq!(st.dup_probability(), 0.0);
+        assert_eq!(st.delay_factor(), 1.0);
     }
 
     #[test]

@@ -105,7 +105,7 @@ impl<M, T: Process<M> + Any> AnyProcess<M> for T {
     }
 }
 
-impl<M: Debug + 'static> Sim<M> {
+impl<M: Debug + Clone + 'static> Sim<M> {
     /// Adds a process; it will receive `on_start` when the clock first
     /// advances (or immediately upon [`Sim::run_until`]).
     pub fn add_process<P: Process<M> + Any>(&mut self, p: P) -> ProcessId {
@@ -187,6 +187,30 @@ impl<M: Debug + 'static> Sim<M> {
         self.queue.push(at, EventKind::PartitionHeal);
     }
 
+    /// Schedules a network-degradation episode (burst loss, duplication,
+    /// delay inflation) starting at `at`.
+    pub fn degrade_at(
+        &mut self,
+        at: SimTime,
+        extra_drop: f64,
+        dup_probability: f64,
+        delay_factor: f64,
+    ) {
+        self.queue.push(
+            at,
+            EventKind::NetDegrade {
+                extra_drop,
+                dup_probability,
+                delay_factor,
+            },
+        );
+    }
+
+    /// Schedules the end of any degradation episode at `at`.
+    pub fn restore_at(&mut self, at: SimTime) {
+        self.queue.push(at, EventKind::NetRestore);
+    }
+
     /// Runs until the queue is empty or simulated time reaches `deadline`.
     ///
     /// Returns the number of events processed.
@@ -196,7 +220,9 @@ impl<M: Debug + 'static> Sim<M> {
             if t > deadline || self.stop {
                 break;
             }
-            let ev = self.queue.pop().expect("peeked event exists");
+            let Some(ev) = self.queue.pop() else {
+                break;
+            };
             self.now = ev.at;
             self.dispatch(ev.kind);
             processed += 1;
@@ -225,7 +251,10 @@ impl<M: Debug + 'static> Sim<M> {
                 msg,
                 sent_at,
             } => {
-                if !self.alive[to.0] {
+                if !self.alive.get(to.0).copied().unwrap_or(false) {
+                    // Dead — or addressed to a process that does not
+                    // exist (a protocol bug surfaced as a drop, not a
+                    // panic, so fault campaigns keep running).
                     self.metrics.incr("net.dropped_dead", 1);
                     return;
                 }
@@ -249,7 +278,9 @@ impl<M: Debug + 'static> Sim<M> {
                 }
             }
             EventKind::Crash { proc } => {
-                if self.alive[proc.0] {
+                // Fault boundary: a plan may target a process that was
+                // never added — record and ignore rather than panic.
+                if self.alive.get(proc.0).copied().unwrap_or(false) {
                     self.alive[proc.0] = false;
                     self.metrics.incr("faults.crash", 1);
                     self.trace.record(TraceEvent::Fault {
@@ -260,7 +291,7 @@ impl<M: Debug + 'static> Sim<M> {
                 }
             }
             EventKind::Recover { proc } => {
-                if !self.alive[proc.0] {
+                if self.alive.get(proc.0) == Some(&false) {
                     self.alive[proc.0] = true;
                     self.metrics.incr("faults.recover", 1);
                     self.trace.record(TraceEvent::Fault {
@@ -272,12 +303,48 @@ impl<M: Debug + 'static> Sim<M> {
                 }
             }
             EventKind::PartitionStart { a, b } => {
+                if self.trace.is_enabled() {
+                    let a: Vec<usize> = a.iter().map(|p| p.0).collect();
+                    let b: Vec<usize> = b.iter().map(|p| p.0).collect();
+                    self.trace.record(TraceEvent::NetFault {
+                        at: self.now,
+                        label: format!("partition {a:?} | {b:?}"),
+                    });
+                }
                 self.net.partition(&a, &b);
                 self.metrics.incr("faults.partition", 1);
             }
             EventKind::PartitionHeal => {
                 self.net.heal();
                 self.metrics.incr("faults.heal", 1);
+                self.trace.record(TraceEvent::NetFault {
+                    at: self.now,
+                    label: "heal".into(),
+                });
+            }
+            EventKind::NetDegrade {
+                extra_drop,
+                dup_probability,
+                delay_factor,
+            } => {
+                self.net.degrade(extra_drop, dup_probability, delay_factor);
+                self.metrics.incr("faults.degrade", 1);
+                if self.trace.is_enabled() {
+                    self.trace.record(TraceEvent::NetFault {
+                        at: self.now,
+                        label: format!(
+                            "degrade drop+{extra_drop:.2} dup={dup_probability:.2} delay x{delay_factor:.1}"
+                        ),
+                    });
+                }
+            }
+            EventKind::NetRestore => {
+                self.net.restore();
+                self.metrics.incr("faults.restore", 1);
+                self.trace.record(TraceEvent::NetFault {
+                    at: self.now,
+                    label: "restore".into(),
+                });
             }
         }
     }
@@ -331,8 +398,12 @@ impl<M: Debug + 'static> Sim<M> {
                 String::new()
             };
             let unreachable = !net.reachable(proc, o.to);
-            let dropped =
-                unreachable || (cfg.drop_probability > 0.0 && rng.gen_bool(cfg.drop_probability));
+            // During a degradation episode, burst loss stacks on top of
+            // the configured drop probability. The guard keeps the RNG
+            // draw sequence identical to the undegraded simulator when no
+            // episode is active, so existing seeds replay byte-for-byte.
+            let drop_p = (cfg.drop_probability + net.extra_drop()).clamp(0.0, 1.0);
+            let dropped = unreachable || (drop_p > 0.0 && rng.gen_bool(drop_p));
             if dropped {
                 metrics.incr("net.dropped", 1);
                 trace.record(TraceEvent::Drop {
@@ -349,8 +420,38 @@ impl<M: Debug + 'static> Sim<M> {
                 to: o.to,
                 label,
             });
-            let delay = cfg.latency.sample(rng, &cfg.topology, proc, o.to);
+            // Duplication samples the RNG only while an episode sets
+            // dup_probability > 0, again preserving replay of old seeds.
+            let dup_p = net.dup_probability();
+            let duplicated = dup_p > 0.0 && rng.gen_bool(dup_p);
+            if duplicated {
+                metrics.incr("net.duplicated", 1);
+            }
+            let factor = net.delay_factor();
+            let scale = |d: crate::time::SimDuration| {
+                if factor == 1.0 {
+                    d
+                } else {
+                    crate::time::SimDuration::from_micros(
+                        (d.as_micros() as f64 * factor).round() as u64,
+                    )
+                }
+            };
+            let delay = scale(cfg.latency.sample(rng, &cfg.topology, proc, o.to));
             let at = net.arrival_time(cfg, proc, o.to, *now, delay);
+            if duplicated {
+                let delay2 = scale(cfg.latency.sample(rng, &cfg.topology, proc, o.to));
+                let at2 = net.arrival_time(cfg, proc, o.to, *now, delay2);
+                queue.push(
+                    at2,
+                    EventKind::Deliver {
+                        to: o.to,
+                        from: proc,
+                        msg: o.msg.clone(),
+                        sent_at: *now,
+                    },
+                );
+            }
             queue.push(
                 at,
                 EventKind::Deliver {

@@ -50,6 +50,9 @@ pub enum TraceEvent {
         proc: ProcessId,
         crashed: bool,
     },
+    /// A network-wide fault transition (partition, heal, degradation
+    /// episode start/end) — not tied to any single process.
+    NetFault { at: SimTime, label: String },
 }
 
 impl TraceEvent {
@@ -60,7 +63,8 @@ impl TraceEvent {
             | TraceEvent::Deliver { at, .. }
             | TraceEvent::Drop { at, .. }
             | TraceEvent::Mark { at, .. }
-            | TraceEvent::Fault { at, .. } => *at,
+            | TraceEvent::Fault { at, .. }
+            | TraceEvent::NetFault { at, .. } => *at,
         }
     }
 
@@ -133,6 +137,11 @@ impl TraceEvent {
                 at.as_micros(),
                 proc.0,
                 crashed
+            ),
+            TraceEvent::NetFault { at, label } => format!(
+                "{{\"NetFault\":{{\"at\":{},\"label\":\"{}\"}}}}",
+                at.as_micros(),
+                esc(label)
             ),
         }
     }
@@ -223,6 +232,10 @@ impl TraceEvent {
                 at,
                 proc: ProcessId(num("proc")? as usize),
                 crashed: boolean("crashed")?,
+            }),
+            "NetFault" => Some(TraceEvent::NetFault {
+                at,
+                label: txt("label")?,
             }),
             _ => None,
         }
@@ -442,6 +455,11 @@ impl Trace {
                         "!! recover".to_string()
                     },
                 ),
+                TraceEvent::NetFault { label, .. } => {
+                    // Network-wide: rendered as a full-width banner row.
+                    let _ = writeln!(out, "{:>12} | == {label}", e.at().to_string());
+                    continue;
+                }
             };
             if col >= n_procs {
                 continue;
@@ -474,7 +492,9 @@ impl Trace {
                 TraceEvent::Send { label, .. }
                 | TraceEvent::Deliver { label, .. }
                 | TraceEvent::Drop { label, .. } => keep(label),
-                TraceEvent::Mark { .. } | TraceEvent::Fault { .. } => true,
+                TraceEvent::Mark { .. } | TraceEvent::Fault { .. } | TraceEvent::NetFault { .. } => {
+                    true
+                }
             };
             if retain {
                 t.record(e.clone());
@@ -580,6 +600,23 @@ mod tests {
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].2, "m1");
         assert!(t.deliveries_at(ProcessId(0)).is_empty());
+    }
+
+    #[test]
+    fn net_fault_roundtrips_and_renders() {
+        let ev = TraceEvent::NetFault {
+            at: SimTime::from_micros(42),
+            label: "partition [0] | [1, 2]".into(),
+        };
+        let back = TraceEvent::from_json(&ev.to_json()).unwrap();
+        assert_eq!(back, ev);
+        let mut t = Trace::new();
+        t.enable();
+        t.record(ev);
+        let d = t.render_event_diagram(3, &[]);
+        assert!(d.contains("== partition [0] | [1, 2]"));
+        // filtered() keeps net faults alongside marks and process faults.
+        assert_eq!(t.filtered(|_| false).events().len(), 1);
     }
 
     #[test]
