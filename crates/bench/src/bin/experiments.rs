@@ -1,25 +1,54 @@
 //! The experiment harness CLI: regenerates every figure and table.
 //!
 //! ```text
-//! experiments all          # everything, paper order
-//! experiments f1 f4 t5     # selected experiments
-//! experiments list         # what exists
+//! experiments all                    # everything, paper order
+//! experiments f1 f4 t5               # selected experiments
+//! experiments list                   # what exists
+//! experiments chaos --seed 23 --bug no-detector-reset
+//! experiments explain --seed 2 --bug no-flush-retry [--msg m0.3]
+//! experiments t7plus --perfetto out.json
 //! ```
 
 use bench::experiments as ex;
 
 fn print_usage() {
     eprintln!(
-        "usage: experiments [all|list|f1|f2|f3|f4|t5|t6|t7|t7plus|t8|t9|t10|t11|t12|t13|t14|t15|t16|ablate|chaos [--seed N]]..."
+        "usage: experiments [--perfetto FILE] \
+         [all|list|f1|f2|f3|f4|t5|t6|t7|t7plus|t8|t9|t10|t11|t12|t13|t14|t15|t16|ablate\
+         |chaos [--seed N] [--bug KNOB]\
+         |explain --seed N [--msg mS.Q] [--bug KNOB]]...\n\
+         KNOB: no-detector-reset | no-flush-retry | no-chain-reset"
     );
 }
 
+fn write_perfetto(path: &str, json: &str, what: &str) {
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("perfetto trace ({what}) written to {path}"),
+        Err(e) => {
+            eprintln!("could not write perfetto trace to {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--perfetto FILE` is a global flag: experiments that support trace
+    // export (f1, t7plus) write Chrome trace-event JSON there.
+    let mut perfetto: Option<String> = None;
+    if let Some(at) = args.iter().position(|a| a == "--perfetto") {
+        if at + 1 >= args.len() {
+            eprintln!("--perfetto needs an output file");
+            std::process::exit(2);
+        }
+        perfetto = Some(args.remove(at + 1));
+        args.remove(at);
+    }
     if args.is_empty() {
         print_usage();
         std::process::exit(2);
     }
+    let mut perfetto_used = false;
     let mut i = 0;
     while i < args.len() {
         let arg = &args[i];
@@ -29,7 +58,9 @@ fn main() {
                 println!(
                     "f1 f2 f3 f4 — figures; t5..t16, t7plus — quantitative \
                      claims; ablate — design ablations; chaos — fault \
-                     campaigns (--seed N replays one); all"
+                     campaigns (--seed N replays one, --bug K injects a \
+                     regression); explain — why a message is still blocked; \
+                     all. --perfetto FILE exports a trace (f1, t7plus)."
                 );
             }
             "all" => {
@@ -41,6 +72,10 @@ fn main() {
                 let (t, diagram) = ex::f1::run(11);
                 println!("{diagram}");
                 println!("{t}");
+                if let Some(path) = &perfetto {
+                    perfetto_used = true;
+                    write_perfetto(path, &ex::f1::perfetto(11), "f1, 3 processes");
+                }
             }
             "f2" => println!("{}", ex::f2::run(60)),
             "f3" => println!("{}", ex::f3::run(60)),
@@ -48,7 +83,17 @@ fn main() {
             "t5" => println!("{}", ex::t5::run(&[4, 8, 16, 32, 48])),
             "t6" => println!("{}", ex::t6::run(&[4, 8, 16, 32])),
             "t7" => println!("{}", ex::t7::run(&[4, 8, 16, 32, 64, 128, 256])),
-            "t7plus" => println!("{}", ex::t7plus::run(&[4, 16, 64, 256])),
+            "t7plus" => {
+                println!("{}", ex::t7plus::run(&[4, 16, 64, 256]));
+                if let Some(path) = &perfetto {
+                    perfetto_used = true;
+                    write_perfetto(
+                        path,
+                        &ex::t7plus::perfetto(16, true, true),
+                        "t7plus N=16 indexed/delta",
+                    );
+                }
+            }
             "t8" => println!("{}", ex::t8::run()),
             "t9" => println!("{}", ex::t9::run(&[4, 8, 12])),
             "t10" => println!("{}", ex::t10::run(&[2, 4, 8, 16])),
@@ -64,16 +109,23 @@ fn main() {
                 }
             }
             "chaos" => {
-                if args.get(i).map(String::as_str) == Some("--seed") {
-                    let seed: u64 = args
-                        .get(i + 1)
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or_else(|| {
-                            eprintln!("chaos --seed needs a number");
-                            std::process::exit(2);
-                        });
-                    i += 2;
-                    if ex::chaos::replay(seed) > 0 {
+                let mut seed: Option<u64> = None;
+                let mut knobs = catocs::vsync::BugKnobs::default();
+                while i < args.len() {
+                    match args[i].as_str() {
+                        "--seed" => {
+                            seed = Some(parse_num(args.get(i + 1), "chaos --seed"));
+                            i += 2;
+                        }
+                        "--bug" => {
+                            knobs = parse_knob(args.get(i + 1));
+                            i += 2;
+                        }
+                        _ => break,
+                    }
+                }
+                if let Some(seed) = seed {
+                    if ex::chaos::replay(seed, knobs) > 0 {
                         std::process::exit(1);
                     }
                 } else {
@@ -85,6 +137,40 @@ fn main() {
                     }
                 }
             }
+            "explain" => {
+                let mut seed: Option<u64> = None;
+                let mut msg = None;
+                let mut knobs = catocs::vsync::BugKnobs::default();
+                while i < args.len() {
+                    match args[i].as_str() {
+                        "--seed" => {
+                            seed = Some(parse_num(args.get(i + 1), "explain --seed"));
+                            i += 2;
+                        }
+                        "--msg" => {
+                            msg = Some(
+                                args.get(i + 1)
+                                    .and_then(|s| ex::explain::parse_msg(s))
+                                    .unwrap_or_else(|| {
+                                        eprintln!("explain --msg wants an id like m0.3");
+                                        std::process::exit(2);
+                                    }),
+                            );
+                            i += 2;
+                        }
+                        "--bug" => {
+                            knobs = parse_knob(args.get(i + 1));
+                            i += 2;
+                        }
+                        _ => break,
+                    }
+                }
+                let Some(seed) = seed else {
+                    eprintln!("explain needs --seed N");
+                    std::process::exit(2);
+                };
+                print!("{}", ex::explain::run(seed, msg, knobs));
+            }
             other => {
                 eprintln!("unknown experiment: {other}");
                 print_usage();
@@ -92,4 +178,23 @@ fn main() {
             }
         }
     }
+    if perfetto.is_some() && !perfetto_used {
+        eprintln!("--perfetto: no selected experiment exports a trace (f1 and t7plus do)");
+        std::process::exit(2);
+    }
+}
+
+fn parse_num(arg: Option<&String>, what: &str) -> u64 {
+    arg.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{what} needs a number");
+        std::process::exit(2);
+    })
+}
+
+fn parse_knob(arg: Option<&String>) -> catocs::vsync::BugKnobs {
+    arg.and_then(|s| ex::chaos::parse_bug(s))
+        .unwrap_or_else(|| {
+            eprintln!("--bug wants one of: no-detector-reset, no-flush-retry, no-chain-reset");
+            std::process::exit(2);
+        })
 }

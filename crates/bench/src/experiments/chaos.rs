@@ -14,22 +14,158 @@
 
 use crate::table::Table;
 use catocs::group::GroupConfig;
-use catocs::vsync::{run_campaign, BugKnobs, CampaignConfig, CampaignResult};
+use catocs::vsync::{run_campaign, run_campaign_with, BugKnobs, CampaignConfig, CampaignResult};
+use simnet::obs::ProbeHandle;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 
 /// Group sizes the sweep cycles through, by seed.
 const SIZES: [usize; 3] = [3, 5, 7];
 
+/// Flight-recorder ring capacity used for post-mortem re-runs: deep
+/// enough to keep the tail of every process's message lifecycle.
+const RECORDER_CAP: usize = 512;
+
+/// The group size a given seed runs with (shared with `explain`).
+pub fn size_for_seed(seed: u64) -> usize {
+    SIZES[(seed % SIZES.len() as u64) as usize]
+}
+
+/// Parses an injected-bug knob name (`--bug` on the CLI).
+pub fn parse_bug(name: &str) -> Option<BugKnobs> {
+    let off = BugKnobs::default();
+    match name {
+        "no-detector-reset" => Some(BugKnobs {
+            no_detector_reset: true,
+            ..off
+        }),
+        "no-flush-retry" => Some(BugKnobs {
+            no_flush_retry: true,
+            ..off
+        }),
+        "no-chain-reset" => Some(BugKnobs {
+            no_chain_reset: true,
+            ..off
+        }),
+        _ => None,
+    }
+}
+
+/// Names of the knobs set in `knobs`, for dump headers.
+fn knob_names(knobs: &BugKnobs) -> Vec<&'static str> {
+    let mut v = Vec::new();
+    if knobs.no_detector_reset {
+        v.push("no-detector-reset");
+    }
+    if knobs.no_flush_retry {
+        v.push("no-flush-retry");
+    }
+    if knobs.no_chain_reset {
+        v.push("no-chain-reset");
+    }
+    v
+}
+
+/// Where incident dumps land: `CHAOS_INCIDENT_DIR` overrides the
+/// default `target/chaos-incidents`.
+pub fn incident_dir() -> PathBuf {
+    std::env::var_os("CHAOS_INCIDENT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/chaos-incidents"))
+}
+
+/// Re-runs a violating cell with the flight recorder attached and writes
+/// the post-mortem: `seed-N-<cell>.txt` (fault plan, violations,
+/// per-process outcome, holdback wait-graphs, event diagram of the
+/// recorded tail) plus `seed-N-<cell>.jsonl` (the raw span/phase events,
+/// one JSON object per line). Returns the paths written.
+pub fn dump_incident_to(
+    dir: &Path,
+    seed: u64,
+    indexed: bool,
+    delta: bool,
+    knobs: BugKnobs,
+) -> std::io::Result<Vec<PathBuf>> {
+    let n = size_for_seed(seed);
+    let cfg = campaign_config(n, indexed, delta, knobs);
+    let (probe, rec) = ProbeHandle::recorder(RECORDER_CAP);
+    let r = run_campaign_with(seed, &cfg, probe);
+    let rec = rec.borrow();
+
+    let hold = if indexed { "indexed" } else { "scan" };
+    let ts = if delta { "delta" } else { "full" };
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "CHAOS INCIDENT — seed {seed}, n={n}, {hold} holdback, {ts} timestamps"
+    );
+    let injected = knob_names(&knobs);
+    if !injected.is_empty() {
+        let _ = writeln!(text, "injected bug knobs: {}", injected.join(", "));
+    }
+    let _ = writeln!(text, "\n{}", r.plan);
+    let _ = writeln!(text, "violations ({}):", r.violations.len());
+    for v in &r.violations {
+        let _ = writeln!(text, "  {v}");
+    }
+    let _ = writeln!(text, "\nprocess outcomes:");
+    for log in &r.logs {
+        let _ = writeln!(
+            text,
+            "  P{}: alive={} frozen={} clock={:?}",
+            log.who, log.alive_at_end, log.frozen, log.final_clock
+        );
+    }
+    if !r.blocked_reports.is_empty() {
+        let _ = writeln!(text, "\nblocked messages at the horizon:");
+        for (who, reports) in &r.blocked_reports {
+            let frozen = r.logs.iter().any(|l| l.who == *who && l.frozen);
+            crate::experiments::explain::render_reports(&mut text, *who, reports, frozen, None);
+        }
+    }
+    let names: Vec<String> = (0..n).map(|p| format!("P{p}")).collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let _ = writeln!(
+        text,
+        "\nrecorded event tail ({} events/process ring):\n{}",
+        RECORDER_CAP,
+        rec.render_ascii(&refs)
+    );
+
+    std::fs::create_dir_all(dir)?;
+    let stem = format!("seed-{seed}-{hold}-{ts}");
+    let txt_path = dir.join(format!("{stem}.txt"));
+    let jsonl_path = dir.join(format!("{stem}.jsonl"));
+    std::fs::write(&txt_path, text)?;
+    std::fs::write(&jsonl_path, rec.to_json_lines())?;
+    Ok(vec![txt_path, jsonl_path])
+}
+
+/// Dumps to the default incident directory, reporting (but swallowing)
+/// IO errors so a full-disk CI box still gets the violation exit code.
+fn dump_incident(seed: u64, indexed: bool, delta: bool, knobs: BugKnobs) {
+    match dump_incident_to(&incident_dir(), seed, indexed, delta, knobs) {
+        Ok(paths) => {
+            for p in paths {
+                eprintln!("chaos: post-mortem dump written to {}", p.display());
+            }
+        }
+        Err(e) => eprintln!("chaos: could not write post-mortem dump: {e}"),
+    }
+}
+
 /// The campaign configuration for one cell of the sweep.
 pub fn campaign_config(n: usize, indexed: bool, delta: bool, knobs: BugKnobs) -> CampaignConfig {
-    let mut cfg = CampaignConfig::default();
-    cfg.n = n;
-    cfg.group = GroupConfig {
-        indexed_holdback: indexed,
-        delta_timestamps: delta,
-        ..GroupConfig::default()
-    };
-    cfg.knobs = knobs;
-    cfg
+    CampaignConfig {
+        n,
+        group: GroupConfig {
+            indexed_holdback: indexed,
+            delta_timestamps: delta,
+            ..GroupConfig::default()
+        },
+        knobs,
+        ..CampaignConfig::default()
+    }
 }
 
 /// Runs one seeded campaign in the given sweep cell.
@@ -58,6 +194,7 @@ pub fn run(seeds: u64) -> (Table, u64) {
         ],
     );
     let mut total_violations = 0u64;
+    let mut dumped = false;
     for (indexed, delta) in [(false, false), (false, true), (true, false), (true, true)] {
         let mut views = 0u64;
         let mut evicted = 0u64;
@@ -82,6 +219,12 @@ pub fn run(seeds: u64) -> (Table, u64) {
                 );
                 for v in &r.violations {
                     eprintln!("  {v}");
+                }
+                // First violation of the sweep: re-run with the flight
+                // recorder attached and dump the post-mortem.
+                if !dumped {
+                    dumped = true;
+                    dump_incident(seed, indexed, delta, BugKnobs::default());
                 }
             }
             // Replay determinism: the first seed of every cell runs twice
@@ -112,17 +255,24 @@ pub fn run(seeds: u64) -> (Table, u64) {
 }
 
 /// Replays one seed across all four sweep cells, printing the schedule
-/// and any violations. Returns the total violation count (the CLI turns
+/// and any violations; `knobs` lets the CLI (`chaos --seed N --bug K`)
+/// re-inject a known bug. The first violating cell gets a flight-recorder
+/// post-mortem dump. Returns the total violation count (the CLI turns
 /// nonzero into exit code 1).
-pub fn replay(seed: u64) -> usize {
-    let n = SIZES[(seed % SIZES.len() as u64) as usize];
+pub fn replay(seed: u64, knobs: BugKnobs) -> usize {
+    let n = size_for_seed(seed);
     println!(
         "{}",
-        run_campaign(seed, &campaign_config(n, true, false, BugKnobs::default())).plan
+        run_campaign(seed, &campaign_config(n, true, false, knobs)).plan
     );
+    let injected = knob_names(&knobs);
+    if !injected.is_empty() {
+        println!("injected bug knobs: {}", injected.join(", "));
+    }
     let mut total = 0;
+    let mut dumped = false;
     for (indexed, delta) in [(false, false), (false, true), (true, false), (true, true)] {
-        let r = run_seed(seed, indexed, delta, BugKnobs::default());
+        let r = run_seed(seed, indexed, delta, knobs);
         println!(
             "[{} holdback, {} timestamps] views={} survivors={:?} evicted_live={:?} \
              delivered={} digest={:016x}",
@@ -144,6 +294,10 @@ pub fn replay(seed: u64) -> usize {
                 println!("  VIOLATION: {v}");
             }
             total += r.violations.len();
+            if !dumped {
+                dumped = true;
+                dump_incident(seed, indexed, delta, knobs);
+            }
         }
     }
     total
@@ -234,6 +388,42 @@ mod tests {
         );
     }
 
+    /// The S2 injected bug must auto-produce a usable flight-recorder
+    /// post-mortem: violations, per-process outcomes and the recorded
+    /// span tail, plus machine-readable JSON lines.
+    #[test]
+    fn injected_bug_replay_produces_incident_dump() {
+        let dir = std::env::temp_dir().join("catocs-chaos-incident-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let knobs = BugKnobs {
+            no_flush_retry: true,
+            ..BugKnobs::default()
+        };
+        let paths = dump_incident_to(&dir, 2, true, true, knobs).expect("dump written");
+        assert_eq!(paths.len(), 2);
+        let txt = std::fs::read_to_string(&paths[0]).expect("txt dump");
+        assert!(txt.contains("CHAOS INCIDENT — seed 2"), "{txt}");
+        assert!(txt.contains("injected bug knobs: no-flush-retry"), "{txt}");
+        // The dump names violations and per-process outcomes.
+        assert!(!txt.contains("violations (0)"), "{txt}");
+        assert!(txt.contains("P0:"), "{txt}");
+        // The machine-readable dump parses line by line.
+        let jsonl = std::fs::read_to_string(&paths[1]).expect("jsonl dump");
+        assert!(!jsonl.trim().is_empty());
+        for line in jsonl.lines() {
+            simnet::json::JsonValue::parse(line).expect("valid JSON line");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bug_knob_names_parse() {
+        assert!(parse_bug("no-detector-reset").unwrap().no_detector_reset);
+        assert!(parse_bug("no-flush-retry").unwrap().no_flush_retry);
+        assert!(parse_bug("no-chain-reset").unwrap().no_chain_reset);
+        assert!(parse_bug("frobnicate").is_none());
+    }
+
     #[test]
     #[ignore = "post-mortem scratch"]
     fn debug_seed() {
@@ -250,9 +440,7 @@ mod tests {
                 .events
                 .iter()
                 .filter_map(|ev| match ev {
-                    NodeEvent::Install { id, members, .. } => {
-                        Some(format!("v{id}{members:?}"))
-                    }
+                    NodeEvent::Install { id, members, .. } => Some(format!("v{id}{members:?}")),
                     _ => None,
                 })
                 .collect();

@@ -3,6 +3,7 @@
 
 pub mod ablate;
 pub mod chaos;
+pub mod explain;
 pub mod f1;
 pub mod f2;
 pub mod f3;

@@ -84,7 +84,7 @@ impl MemberNode {
                 self.route(ctx, flushed);
                 // Delivery blackout: our FlushOk clock must stay an upper
                 // bound on what we have delivered until the view installs.
-                self.endpoint.freeze();
+                self.endpoint.freeze(ctx.now());
             }
             FlushAction::ViewInstalled { view, cut } => {
                 let members: Vec<usize> = view.members.iter().map(|p| p.0).collect();

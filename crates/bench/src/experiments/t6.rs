@@ -109,6 +109,10 @@ pub struct FalseCausalityPoint {
     pub mean_hold_ms: f64,
     /// Mean hold time of false holds, ms.
     pub mean_false_hold_ms: f64,
+    /// Median hold time, ms (from the `group.hold_time` histogram).
+    pub p50_hold_ms: f64,
+    /// 99th-percentile hold time, ms.
+    pub p99_hold_ms: f64,
 }
 
 /// Measures one group size.
@@ -132,6 +136,8 @@ pub fn measure(seed: u64, n: usize) -> FalseCausalityPoint {
         falsely_held: 0,
         mean_hold_ms: 0.0,
         mean_false_hold_ms: 0.0,
+        p50_hold_ms: 0.0,
+        p99_hold_ms: 0.0,
     };
     let mut hold_us = 0u64;
     let mut false_hold_us = 0u64;
@@ -149,6 +155,16 @@ pub fn measure(seed: u64, n: usize) -> FalseCausalityPoint {
     }
     if p.falsely_held > 0 {
         p.mean_false_hold_ms = false_hold_us as f64 / p.falsely_held as f64 / 1000.0;
+    }
+    // The harness records every hold into the `group.hold_time`
+    // histogram; surface its tail, not just the mean.
+    if let Some((_, h)) = sim
+        .metrics()
+        .histograms()
+        .find(|(name, _)| *name == "group.hold_time")
+    {
+        p.p50_hold_ms = h.quantile(0.50).as_millis_f64();
+        p.p99_hold_ms = h.quantile(0.99).as_millis_f64();
     }
     p
 }
@@ -168,6 +184,8 @@ pub fn run(sizes: &[usize]) -> Table {
             "falsely held",
             "false % of held",
             "mean hold ms",
+            "p50 hold ms",
+            "p99 hold ms",
         ],
     );
     for &n in sizes {
@@ -180,6 +198,8 @@ pub fn run(sizes: &[usize]) -> Table {
             p.falsely_held.into(),
             (100.0 * p.falsely_held as f64 / p.held.max(1) as f64).into(),
             p.mean_hold_ms.into(),
+            p.p50_hold_ms.into(),
+            p.p99_hold_ms.into(),
         ]);
     }
     t.note("only ~30% of traffic is semantically dependent, yet cbcast holds");
@@ -217,5 +237,13 @@ mod tests {
         let t = run(&[4, 8]);
         assert_eq!(t.rows.len(), 2);
         assert!(t.get_f64(0, 1) > 0.0);
+    }
+
+    #[test]
+    fn hold_histogram_tail_is_populated() {
+        let p = measure(3, 8);
+        assert!(p.held > 0);
+        assert!(p.p50_hold_ms > 0.0, "{p:?}");
+        assert!(p.p99_hold_ms >= p.p50_hold_ms, "{p:?}");
     }
 }

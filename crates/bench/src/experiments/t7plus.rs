@@ -23,6 +23,7 @@ use catocs::cbcast::CbcastEndpoint;
 use catocs::group::GroupConfig;
 use catocs::wire::{Dest, Wire};
 use simnet::metrics::Metrics;
+use simnet::obs::{perfetto_json, ProbeHandle};
 use simnet::time::SimTime;
 use std::collections::{HashMap, VecDeque};
 
@@ -59,6 +60,18 @@ pub struct HotPathPoint {
 /// receives the entire stream in reverse arrival order, maximizing
 /// holdback (and, under delta, parking) pressure.
 pub fn measure(n: usize, indexed: bool, delta: bool) -> HotPathPoint {
+    measure_with_probe(n, indexed, delta, ProbeHandle::none())
+}
+
+/// Like [`measure`], with an observability probe attached to every
+/// endpoint. Probes are read-only: the measurements are identical to an
+/// unprobed run.
+pub fn measure_with_probe(
+    n: usize,
+    indexed: bool,
+    delta: bool,
+    probe: ProbeHandle,
+) -> HotPathPoint {
     assert!(n >= 2, "need at least a sender and an observer");
     let active = ACTIVE_CAP.min(n - 1);
     let total = n.max(32);
@@ -73,7 +86,11 @@ pub fn measure(n: usize, indexed: bool, delta: bool) -> HotPathPoint {
     // the other senders immediately, so every message causally references
     // the whole prefix (one global chain).
     let mut senders: Vec<CbcastEndpoint<u64>> = (0..active)
-        .map(|i| CbcastEndpoint::new(i, n, cfg.clone()))
+        .map(|i| {
+            let mut e = CbcastEndpoint::new(i, n, cfg.clone());
+            e.set_probe(probe.clone());
+            e
+        })
         .collect();
     let mut wires = Vec::new();
     for step in 0..total {
@@ -108,6 +125,7 @@ pub fn measure(n: usize, indexed: bool, delta: bool) -> HotPathPoint {
     // completeness under delta (a full encoding that jumps the decode
     // chain drops the parked deltas behind it).
     let mut observer = CbcastEndpoint::<u64>::new(n - 1, n, cfg);
+    observer.set_probe(probe);
     let mut inbox: VecDeque<Wire<u64>> = wires.iter().rev().cloned().collect();
     let mut at = total as u64;
     while let Some(w) = inbox.pop_front() {
@@ -154,6 +172,31 @@ pub fn measure(n: usize, indexed: bool, delta: bool) -> HotPathPoint {
         sent: metrics.counter("t7p.sent"),
         delivered: metrics.counter("t7p.delivered"),
     }
+}
+
+/// Runs one configuration with the flight recorder attached and exports
+/// the recorded spans and phases as Chrome trace-event JSON (load in
+/// Perfetto / `chrome://tracing`): one track group per process, spans
+/// on tid 1, protocol phases on tid 2, flow arrows from each send to
+/// its wire arrival.
+pub fn perfetto(n: usize, indexed: bool, delta: bool) -> String {
+    let (probe, rec) = ProbeHandle::recorder(8192);
+    measure_with_probe(n, indexed, delta, probe);
+    let active = ACTIVE_CAP.min(n - 1);
+    let names: Vec<String> = (0..n)
+        .map(|p| {
+            if p == n - 1 {
+                "observer".to_string()
+            } else if p < active {
+                format!("sender{p}")
+            } else {
+                "idle".to_string()
+            }
+        })
+        .collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let rec = rec.borrow();
+    perfetto_json(None, Some(&rec), n, &refs)
 }
 
 /// Runs the full sweep: sizes × {scan, indexed} × {full, delta}.
@@ -259,5 +302,40 @@ mod tests {
     fn table_has_full_grid() {
         let t = run(&[4, 16]);
         assert_eq!(t.rows.len(), 8);
+    }
+
+    #[test]
+    fn probed_measurement_is_identical() {
+        let plain = measure(16, true, true);
+        let (probe, _rec) = ProbeHandle::recorder(256);
+        let probed = measure_with_probe(16, true, true, probe);
+        assert_eq!(format!("{plain:?}"), format!("{probed:?}"));
+    }
+
+    #[test]
+    fn perfetto_export_is_structurally_valid() {
+        use simnet::json::JsonValue;
+        let out = perfetto(8, true, true);
+        let doc = JsonValue::parse(&out).expect("perfetto output parses");
+        let events = doc
+            .get("traceEvents")
+            .and_then(JsonValue::as_arr)
+            .expect("traceEvents array");
+        assert!(!events.is_empty());
+        let mut pids = std::collections::BTreeSet::new();
+        for ev in events {
+            let ph = ev.get("ph").and_then(JsonValue::as_str).expect("ph");
+            assert!(
+                ["M", "X", "B", "E", "s", "f", "i"].contains(&ph),
+                "unexpected phase {ph}"
+            );
+            pids.insert(ev.get("pid").and_then(JsonValue::as_u64).expect("pid"));
+            if ph != "M" {
+                assert!(ev.get("ts").and_then(JsonValue::as_u64).is_some());
+            }
+        }
+        // The observer and at least one sender left events.
+        assert!(pids.contains(&7), "observer track missing: {pids:?}");
+        assert!(pids.contains(&0), "sender track missing: {pids:?}");
     }
 }

@@ -18,6 +18,7 @@
 use crate::cbcast::CbcastEndpoint;
 use crate::group::{GroupConfig, MsgId};
 use crate::wire::{Delivery, Dest, EndpointStats, Out, Wire};
+use simnet::obs::{ObsEvent, PhaseEdge, PhaseKind, ProbeHandle};
 use simnet::time::SimTime;
 use std::collections::{BTreeMap, HashMap};
 
@@ -43,6 +44,8 @@ pub struct AbcastEndpoint<P> {
     /// Last order-gap NACK time.
     last_order_nack: Option<SimTime>,
     cfg: GroupConfig,
+    /// Observability sink (order assignments). Disabled by default.
+    probe: ProbeHandle,
     stats: EndpointStats,
 }
 
@@ -62,8 +65,17 @@ impl<P: Clone> AbcastEndpoint<P> {
             released: 0,
             last_order_nack: None,
             cfg,
+            probe: ProbeHandle::none(),
             stats: EndpointStats::default(),
         }
+    }
+
+    /// Installs an observability probe on this endpoint and its causal
+    /// substrate: span events flow from the cbcast layer, order-assign
+    /// phase events from the sequencer logic here.
+    pub fn set_probe(&mut self, probe: ProbeHandle) {
+        self.cb.set_probe(probe.clone());
+        self.probe = probe;
     }
 
     /// This member's index.
@@ -101,7 +113,7 @@ impl<P: Clone> AbcastEndpoint<P> {
         self.unreleased
             .insert(self_delivery.id, self_delivery.clone());
         if self.is_sequencer() {
-            self.assign_order(self_delivery.id, &mut out);
+            self.assign_order(now, self_delivery.id, &mut out);
         }
         let released = self.release(now);
         (released, out)
@@ -137,7 +149,7 @@ impl<P: Clone> AbcastEndpoint<P> {
                 out.extend(cb_out);
                 for d in dels {
                     if self.is_sequencer() {
-                        self.assign_order(d.id, &mut out);
+                        self.assign_order(now, d.id, &mut out);
                     }
                     self.unreleased.insert(d.id, d);
                 }
@@ -189,12 +201,19 @@ impl<P: Clone> AbcastEndpoint<P> {
         out
     }
 
-    fn assign_order(&mut self, id: MsgId, out: &mut Vec<Out<P>>) {
+    fn assign_order(&mut self, now: SimTime, id: MsgId, out: &mut Vec<Out<P>>) {
         if self.ordered.contains_key(&id) {
             return;
         }
         self.next_assign += 1;
         let gseq = self.next_assign;
+        self.probe.emit(|| ObsEvent::Phase {
+            at: now,
+            who: self.cb.me(),
+            kind: PhaseKind::OrderAssign,
+            edge: PhaseEdge::Point,
+            note: format!("gseq {gseq} -> m{}.{}", id.sender, id.seq),
+        });
         self.order.insert(gseq, id);
         self.ordered.insert(id, gseq);
         self.advance_order_watermark();

@@ -25,8 +25,84 @@ use crate::holdback::{HoldbackQueue, Pending};
 use crate::stability::StabilityTracker;
 use crate::wire::{DataMsg, Delivery, Dest, EndpointStats, Out, VtWire, Wire};
 use clocks::vector::VectorClock;
+use simnet::obs::{ObsEvent, PhaseEdge, PhaseKind, ProbeHandle, SpanId, Stage};
 use simnet::time::SimTime;
 use std::collections::BTreeMap;
+
+/// The observability span for a message: its id, viewed group-wide.
+fn span_of(id: MsgId) -> SpanId {
+    SpanId {
+        origin: id.sender,
+        seq: id.seq,
+    }
+}
+
+/// Why a causal predecessor of a held message has not delivered here —
+/// one link of the blocked-on explanation chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitStatus {
+    /// The predecessor itself sits in this holdback queue; its own
+    /// missing predecessors are the real blockers — follow the chain.
+    HeldHere,
+    /// A delta-stamped copy arrived but cannot decode until the chain
+    /// base is re-seeded (parked).
+    Parked,
+    /// Known missing and being chased via NACK; `referenced_by` is the
+    /// member whose message first referenced it.
+    Chased {
+        /// Who we first learned of the missing message from.
+        referenced_by: usize,
+    },
+    /// Its sender was removed by a view change and the id lies beyond
+    /// the flush cut — no survivor may ever deliver it.
+    NeverDeliverable {
+        /// The agreed cut for the removed sender.
+        cut: u64,
+    },
+    /// Nothing references it yet from this process's point of view.
+    Unknown,
+}
+
+impl std::fmt::Display for WaitStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaitStatus::HeldHere => write!(f, "held here (waiting on its own predecessors)"),
+            WaitStatus::Parked => write!(f, "parked (delta undecodable until chain re-seeds)"),
+            WaitStatus::Chased { referenced_by } => {
+                write!(
+                    f,
+                    "missing; chased via NACK (referenced by P{referenced_by})"
+                )
+            }
+            WaitStatus::NeverDeliverable { cut } => {
+                write!(f, "never deliverable (sender removed, beyond cut {cut})")
+            }
+            WaitStatus::Unknown => write!(f, "not yet observed"),
+        }
+    }
+}
+
+/// One undelivered causal predecessor of a blocked message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitCause {
+    /// The predecessor's id.
+    pub id: MsgId,
+    /// Its status at this process.
+    pub status: WaitStatus,
+}
+
+/// A message stuck in the holdback queue and everything it waits on —
+/// produced by [`CbcastEndpoint::blocked_report`] for the
+/// `experiments explain` CLI.
+#[derive(Debug, Clone)]
+pub struct BlockedReport {
+    /// The blocked message.
+    pub msg: MsgId,
+    /// When it arrived here.
+    pub arrived_at: SimTime,
+    /// Every undelivered causal predecessor, in (sender, seq) order.
+    pub waits: Vec<WaitCause>,
+}
 
 /// Tracking for a message we know exists but have not received.
 #[derive(Debug, Clone, Copy)]
@@ -121,6 +197,10 @@ pub struct CbcastEndpoint<P> {
     /// delta-chain reset (the S3 fix), reintroducing the stale-chain bug
     /// so fault campaigns can demonstrate the failing seed.
     skip_view_reset: bool,
+    /// Observability sink. Disabled by default; emissions are read-only
+    /// with respect to protocol state, so a probed run is byte-identical
+    /// to an unprobed one.
+    probe: ProbeHandle,
     stats: EndpointStats,
 }
 
@@ -148,15 +228,32 @@ impl<P: Clone> CbcastEndpoint<P> {
             force_full_next: false,
             frozen: false,
             skip_view_reset: false,
+            probe: ProbeHandle::none(),
             stats: EndpointStats::default(),
         }
+    }
+
+    /// Installs an observability probe. Span and phase events flow to it
+    /// from every delivery-path method; with the default (disabled)
+    /// handle nothing is even formatted.
+    pub fn set_probe(&mut self, probe: ProbeHandle) {
+        self.probe = probe;
     }
 
     /// Suspends all delivery until the next [`CbcastEndpoint::on_view_install`].
     /// Called when this member enters a flush: its `FlushOk` clock must
     /// stay an upper bound on what it has delivered until the cut is
     /// agreed. Receiving, buffering and NACK recovery continue.
-    pub fn freeze(&mut self) {
+    pub fn freeze(&mut self, now: SimTime) {
+        if !self.frozen {
+            self.probe.emit(|| ObsEvent::Phase {
+                at: now,
+                who: self.me,
+                kind: PhaseKind::Flush,
+                edge: PhaseEdge::Begin,
+                note: format!("{} unstable buffered", self.buffer.len()),
+            });
+        }
         self.frozen = true;
     }
 
@@ -233,6 +330,62 @@ impl<P: Clone> CbcastEndpoint<P> {
         self.stability.stable_frontier()
     }
 
+    /// Walks the holdback wait-graph and reports, for every blocked
+    /// message, each undelivered causal predecessor and why it is absent
+    /// (held here too, parked, chased via NACK, or never deliverable).
+    /// Read-only and work-counter-neutral, so calling it cannot change a
+    /// run's digests — the `experiments explain` CLI relies on that.
+    pub fn blocked_report(&self) -> Vec<BlockedReport> {
+        let mut reports: Vec<BlockedReport> = self
+            .holdback
+            .pending()
+            .map(|p| {
+                let mut waits = Vec::new();
+                for k in 0..self.n {
+                    let need = if k == p.msg.id.sender {
+                        p.msg.id.seq.saturating_sub(1)
+                    } else {
+                        p.msg.vt.get(k)
+                    };
+                    for seq in (self.vt.get(k) + 1)..=need {
+                        let id = MsgId { sender: k, seq };
+                        waits.push(WaitCause {
+                            id,
+                            status: self.classify_wait(id),
+                        });
+                    }
+                }
+                BlockedReport {
+                    msg: p.msg.id,
+                    arrived_at: p.arrived_at,
+                    waits,
+                }
+            })
+            .collect();
+        // The indexed holdback iterates in hash order; sort for
+        // deterministic output.
+        reports.sort_by_key(|r| r.msg);
+        reports
+    }
+
+    fn classify_wait(&self, id: MsgId) -> WaitStatus {
+        if self.holdback.peek(id) {
+            WaitStatus::HeldHere
+        } else if self.undecoded[id.sender].contains_key(&id.seq) {
+            WaitStatus::Parked
+        } else if !self.alive[id.sender] && id.seq > self.cut.get(id.sender) {
+            WaitStatus::NeverDeliverable {
+                cut: self.cut.get(id.sender),
+            }
+        } else if let Some(m) = self.missing.get(&id) {
+            WaitStatus::Chased {
+                referenced_by: m.referenced_by,
+            }
+        } else {
+            WaitStatus::Unknown
+        }
+    }
+
     /// Applies an installed view: `members` are the surviving member
     /// indices and `cut` is the flush cut agreed for the view.
     ///
@@ -255,6 +408,22 @@ impl<P: Clone> CbcastEndpoint<P> {
         members: &[usize],
         cut: &VectorClock,
     ) -> Vec<Delivery<P>> {
+        if self.frozen {
+            self.probe.emit(|| ObsEvent::Phase {
+                at: now,
+                who: self.me,
+                kind: PhaseKind::Flush,
+                edge: PhaseEdge::End,
+                note: String::new(),
+            });
+        }
+        self.probe.emit(|| ObsEvent::Phase {
+            at: now,
+            who: self.me,
+            kind: PhaseKind::Install,
+            edge: PhaseEdge::Point,
+            note: format!("members {members:?} cut {cut:?}"),
+        });
         self.cut.merge(cut);
         for s in 0..self.n {
             if !members.contains(&s) && self.alive[s] {
@@ -287,7 +456,7 @@ impl<P: Clone> CbcastEndpoint<P> {
         self.stability.set_members(members);
         self.stability_dirty = true;
         self.stats.note_holdback(self.holdback.len() as u64);
-        self.collect_garbage();
+        self.collect_garbage(now);
         // Thaw: deliver whatever queued up during the blackout.
         self.frozen = false;
         let mut delivered = Vec::new();
@@ -299,6 +468,16 @@ impl<P: Clone> CbcastEndpoint<P> {
     /// self-delivery and the outbound wire messages.
     pub fn multicast(&mut self, now: SimTime, payload: P) -> (Delivery<P>, Vec<Out<P>>) {
         let seq = self.vt.tick(self.me);
+        self.probe.emit(|| ObsEvent::Span {
+            at: now,
+            who: self.me,
+            span: SpanId {
+                origin: self.me,
+                seq,
+            },
+            stage: Stage::Send,
+            note: String::new(),
+        });
         // Keep the ready-index consistent with the clock advance (no
         // held message can legitimately wait on our own future sends,
         // but the invariant costs nothing to maintain).
@@ -411,7 +590,7 @@ impl<P: Clone> CbcastEndpoint<P> {
                         }
                     }
                 }
-                self.collect_garbage();
+                self.collect_garbage(now);
             }
             Wire::Nack { from, want } => {
                 for id in want {
@@ -493,11 +672,29 @@ impl<P: Clone> CbcastEndpoint<P> {
             self.stats.ts_decode_errors += 1;
             return;
         }
+        self.probe.emit(|| ObsEvent::Span {
+            at: now,
+            who: self.me,
+            span: span_of(msg.id),
+            stage: Stage::Wire,
+            note: if msg.retransmit {
+                "retransmit".to_string()
+            } else {
+                String::new()
+            },
+        });
         if !self.alive[sender] && msg.id.seq > self.cut.get(sender) {
             // Virtual synchrony: the sender was removed by a view change
             // and this message is beyond the flush cut — no survivor may
             // deliver it.
             self.stats.rejected_removed += 1;
+            self.probe.emit(|| ObsEvent::Span {
+                at: now,
+                who: self.me,
+                span: span_of(msg.id),
+                stage: Stage::Dropped,
+                note: format!("removed sender beyond cut {}", self.cut.get(sender)),
+            });
             return;
         }
         match &msg.vt_wire {
@@ -509,7 +706,16 @@ impl<P: Clone> CbcastEndpoint<P> {
                     self.on_data(now, msg, out, delivered);
                     self.drain_undecoded(now, sender, out, delivered);
                 }
-                _ => self.stats.ts_decode_errors += 1,
+                _ => {
+                    self.stats.ts_decode_errors += 1;
+                    self.probe.emit(|| ObsEvent::Span {
+                        at: now,
+                        who: self.me,
+                        span: span_of(msg.id),
+                        stage: Stage::Dropped,
+                        note: "timestamp decode error".to_string(),
+                    });
+                }
             },
             VtWire::Delta(bytes) => {
                 let (chain_seq, chain_base) = &self.decode_chain[sender];
@@ -524,12 +730,28 @@ impl<P: Clone> CbcastEndpoint<P> {
                             self.on_data(now, msg, out, delivered);
                             self.drain_undecoded(now, sender, out, delivered);
                         }
-                        _ => self.stats.ts_decode_errors += 1,
+                        _ => {
+                            self.stats.ts_decode_errors += 1;
+                            self.probe.emit(|| ObsEvent::Span {
+                                at: now,
+                                who: self.me,
+                                span: span_of(msg.id),
+                                stage: Stage::Dropped,
+                                note: "delta timestamp decode error".to_string(),
+                            });
+                        }
                     }
                 } else if msg.id.seq <= chain_seq {
                     // The timestamp for this seq was decoded before, so
                     // this copy is a duplicate of a known message.
                     self.stats.duplicates += 1;
+                    self.probe.emit(|| ObsEvent::Span {
+                        at: now,
+                        who: self.me,
+                        span: span_of(msg.id),
+                        stage: Stage::Dropped,
+                        note: "duplicate (behind decode chain)".to_string(),
+                    });
                 } else {
                     // Ahead of the decode chain — or the chain base was
                     // invalidated by a view install: park until a full
@@ -543,6 +765,13 @@ impl<P: Clone> CbcastEndpoint<P> {
                         msg.id.seq
                     };
                     self.register_fifo_gap(now, sender, chain_seq + 1, hi, out);
+                    self.probe.emit(|| ObsEvent::Span {
+                        at: now,
+                        who: self.me,
+                        span: span_of(msg.id),
+                        stage: Stage::Parked,
+                        note: format!("delta ahead of decode chain (chain at seq {chain_seq})"),
+                    });
                     self.undecoded[sender].insert(msg.id.seq, msg);
                 }
             }
@@ -570,13 +799,11 @@ impl<P: Clone> CbcastEndpoint<P> {
         out: &mut Vec<Out<P>>,
         delivered: &mut Vec<Delivery<P>>,
     ) {
-        loop {
-            let (next, base) = match &self.decode_chain[sender] {
-                (seq, Some(base)) => (seq + 1, base.clone()),
-                // Invalidated chain (view install): parked deltas cannot
-                // decode until a full encoding re-seeds it.
-                (_, None) => break,
-            };
+        // An invalidated chain (view install) stops immediately: parked
+        // deltas cannot decode until a full encoding re-seeds it.
+        while let (seq, Some(base)) = &self.decode_chain[sender] {
+            let next = seq + 1;
+            let base = base.clone();
             let Some(mut msg) = self.undecoded[sender].remove(&next) else {
                 break;
             };
@@ -659,12 +886,43 @@ impl<P: Clone> CbcastEndpoint<P> {
         // Duplicate (already delivered) or already held?
         if msg.id.seq <= self.vt.get(sender) || self.holdback.contains(msg.id) {
             self.stats.duplicates += 1;
-            self.collect_garbage();
+            self.probe.emit(|| ObsEvent::Span {
+                at: now,
+                who: self.me,
+                span: span_of(msg.id),
+                stage: Stage::Dropped,
+                note: "duplicate".to_string(),
+            });
+            self.collect_garbage(now);
             return;
         }
         self.missing.remove(&msg.id);
         // Note any causal predecessors we have never seen.
         self.register_missing(now, &msg, out);
+        self.probe.emit(|| {
+            let mut waits = Vec::new();
+            for k in 0..self.n {
+                let need = if k == msg.id.sender {
+                    msg.id.seq.saturating_sub(1)
+                } else {
+                    msg.vt.get(k)
+                };
+                if self.vt.get(k) < need {
+                    waits.push(format!("m{k}.{need}"));
+                }
+            }
+            ObsEvent::Span {
+                at: now,
+                who: self.me,
+                span: span_of(msg.id),
+                stage: Stage::HoldbackEnter,
+                note: if waits.is_empty() {
+                    "deliverable on arrival".to_string()
+                } else {
+                    format!("waiting on {}", waits.join(", "))
+                },
+            }
+        });
         self.holdback.insert(
             Pending {
                 msg,
@@ -674,7 +932,7 @@ impl<P: Clone> CbcastEndpoint<P> {
         );
         self.drain_holdback(now, delivered);
         self.stats.note_holdback(self.holdback.len() as u64);
-        self.collect_garbage();
+        self.collect_garbage(now);
     }
 
     /// Scans `msg`'s timestamp for messages we have neither delivered nor
@@ -761,7 +1019,28 @@ impl<P: Clone> CbcastEndpoint<P> {
             if was_held {
                 self.stats.delivered_after_hold += 1;
                 self.stats.hold_time_total += now.saturating_since(pending.arrived_at);
+                self.probe.emit(|| ObsEvent::Span {
+                    at: now,
+                    who: self.me,
+                    span: span_of(msg.id),
+                    stage: Stage::Deliverable,
+                    note: format!(
+                        "all predecessors in after {}us",
+                        now.saturating_since(pending.arrived_at).as_micros()
+                    ),
+                });
             }
+            self.probe.emit(|| ObsEvent::Span {
+                at: now,
+                who: self.me,
+                span: span_of(msg.id),
+                stage: Stage::Delivered,
+                note: waited_for
+                    .iter()
+                    .map(|w| format!("m{}.{}", w.sender, w.seq))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+            });
             self.buffer.insert(msg.id, msg.clone());
             delivered.push(Delivery {
                 id: msg.id,
@@ -793,7 +1072,7 @@ impl<P: Clone> CbcastEndpoint<P> {
         v
     }
 
-    fn collect_garbage(&mut self) {
+    fn collect_garbage(&mut self, now: SimTime) {
         // O(1) unless stability knowledge advanced since the last pass,
         // and no buffer walk unless the frontier itself moved — this runs
         // on every wire event, so the common case must stay off the
@@ -808,8 +1087,16 @@ impl<P: Clone> CbcastEndpoint<P> {
         }
         let before = self.buffer.len();
         self.buffer.retain(|id, _| id.seq > frontier.get(id.sender));
+        let reclaimed = before - self.buffer.len();
+        self.probe.emit(|| ObsEvent::Phase {
+            at: now,
+            who: self.me,
+            kind: PhaseKind::StabilityRound,
+            edge: PhaseEdge::Point,
+            note: format!("stable frontier {frontier:?}, {reclaimed} reclaimed"),
+        });
         self.gc_frontier = frontier;
-        self.stats.stabilized += (before - self.buffer.len()) as u64;
+        self.stats.stabilized += reclaimed as u64;
         self.note_buffer();
     }
 
@@ -1250,7 +1537,7 @@ mod tests {
     fn freeze_defers_delivery_until_install() {
         let (mut a, mut b, _) = trio();
         let (_, o1) = a.multicast(t(0), "m1");
-        b.freeze();
+        b.freeze(t(0));
         let (dels, _) = b.on_wire(t(1), data_of(&o1));
         assert!(dels.is_empty(), "nothing delivers during the blackout");
         assert!(b.is_frozen());
@@ -1273,7 +1560,7 @@ mod tests {
         let (_, o1) = a.multicast(t(0), "m1");
         let (_, o2) = a.multicast(t(1), "m2");
         b.on_wire(t(2), data_of(&o1));
-        b.freeze(); // flush begins; b's FlushOk carries clock[0] = 1
+        b.freeze(t(2)); // flush begins; b's FlushOk carries clock[0] = 1
         let (dels, _) = b.on_wire(t(3), data_of(&o2));
         assert!(dels.is_empty(), "m2 must not deliver during the blackout");
         let cut = b.clock().clone();
@@ -1322,6 +1609,114 @@ mod tests {
             .expect("survivor serves from its buffer");
         let (dels, _) = c.on_wire(t(4), retrans.1);
         assert_eq!(dels.iter().map(|d| d.payload).collect::<Vec<_>>(), ["m1"]);
+    }
+
+    #[test]
+    fn probe_records_full_span_lifecycle() {
+        use simnet::obs::Stage;
+        // m1 → m2; c gets m2 first, so m2's span passes through every
+        // stage: wire, holdback-enter, deliverable, delivered.
+        let (mut a, mut b, mut c) = trio();
+        let (probe, rec) = simnet::obs::ProbeHandle::recorder(64);
+        c.set_probe(probe);
+        let (_, o1) = a.multicast(t(0), "m1");
+        b.on_wire(t(1), data_of(&o1));
+        let (_, o2) = b.multicast(t(2), "m2");
+        c.on_wire(t(3), data_of(&o2));
+        c.on_wire(t(4), data_of(&o1));
+        let rec = rec.borrow();
+        let stages: Vec<(String, Stage)> = rec
+            .events(2)
+            .iter()
+            .filter_map(|e| match e {
+                simnet::obs::ObsEvent::Span { span, stage, .. } => Some((span.to_string(), *stage)),
+                _ => None,
+            })
+            .collect();
+        let m2 = MsgId { sender: 1, seq: 1 };
+        let m2_stages: Vec<Stage> = stages
+            .iter()
+            .filter(|(s, _)| *s == span_of(m2).to_string())
+            .map(|(_, st)| *st)
+            .collect();
+        assert_eq!(
+            m2_stages,
+            vec![
+                Stage::Wire,
+                Stage::HoldbackEnter,
+                Stage::Deliverable,
+                Stage::Delivered
+            ]
+        );
+        // The holdback-enter note names the exact missing predecessor.
+        let enter_note = rec
+            .events(2)
+            .iter()
+            .find_map(|e| match e {
+                simnet::obs::ObsEvent::Span {
+                    stage: Stage::HoldbackEnter,
+                    note,
+                    ..
+                } => Some(note.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(enter_note, "waiting on m0.1");
+    }
+
+    #[test]
+    fn blocked_report_names_missing_predecessor() {
+        for indexed in [false, true] {
+            let cfg = GroupConfig {
+                indexed_holdback: indexed,
+                ..GroupConfig::default()
+            };
+            let mut a = CbcastEndpoint::new(0, 3, cfg.clone());
+            let mut b = CbcastEndpoint::new(1, 3, cfg.clone());
+            let mut c = CbcastEndpoint::new(2, 3, cfg);
+            let (_, o1) = a.multicast(t(0), "m1");
+            b.on_wire(t(1), data_of(&o1));
+            let (_, o2) = b.multicast(t(2), "m2");
+            c.on_wire(t(3), data_of(&o2));
+            let reports = c.blocked_report();
+            assert_eq!(reports.len(), 1, "indexed={indexed}");
+            let r = &reports[0];
+            assert_eq!(r.msg, MsgId { sender: 1, seq: 1 });
+            assert_eq!(r.arrived_at, t(3));
+            assert_eq!(r.waits.len(), 1);
+            assert_eq!(r.waits[0].id, MsgId { sender: 0, seq: 1 });
+            assert_eq!(
+                r.waits[0].status,
+                WaitStatus::Chased { referenced_by: 1 },
+                "m0.1 is being chased via NACK from b, who referenced it"
+            );
+        }
+    }
+
+    #[test]
+    fn probed_run_observes_identical_protocol_state() {
+        // Determinism guarantee: attaching a recorder must not change
+        // stats, clocks, or holdback work — only observe them.
+        let run = |probed: bool| {
+            let (mut a, mut b, mut c) = trio();
+            if probed {
+                let (probe, _rec) = simnet::obs::ProbeHandle::recorder(128);
+                c.set_probe(probe);
+            }
+            let (_, o1) = a.multicast(t(0), "m1");
+            b.on_wire(t(1), data_of(&o1));
+            let (_, o2) = b.multicast(t(2), "m2");
+            c.on_wire(t(3), data_of(&o2));
+            let _ = c.blocked_report();
+            c.on_wire(t(4), data_of(&o1));
+            (
+                c.clock().clone(),
+                c.stats().delivered,
+                c.stats().holdback_work,
+                c.stats().nacks_sent,
+            )
+        };
+        assert_eq!(run(false), run(true));
     }
 
     /// Deterministic Fisher-Yates driven by a 64-bit LCG, so the proptest

@@ -92,6 +92,28 @@ impl<P> HoldbackQueue<P> {
         }
     }
 
+    /// Whether `id` is currently held, without counting the probe as
+    /// protocol work. Observability paths (the blocked-on explainer, the
+    /// flight recorder) use this so a probed run reports the same
+    /// [`Self::work`] — and therefore the same digests — as an unprobed
+    /// one.
+    pub fn peek(&self, id: MsgId) -> bool {
+        match self {
+            HoldbackQueue::Scan(q) => q.items.iter().any(|p| p.msg.id == id),
+            HoldbackQueue::Indexed(q) => q.entries.contains_key(&id),
+        }
+    }
+
+    /// Iterates the held messages, in no particular order (the indexed
+    /// structure is hash-ordered — callers wanting determinism must sort).
+    /// Read-only: does not count toward [`Self::work`].
+    pub fn pending(&self) -> Box<dyn Iterator<Item = &Pending<P>> + '_> {
+        match self {
+            HoldbackQueue::Scan(q) => Box::new(q.items.iter()),
+            HoldbackQueue::Indexed(q) => Box::new(q.entries.values().map(|e| &e.pending)),
+        }
+    }
+
     /// Inserts a newly arrived message. `local_vt` is the receiver's
     /// delivered clock, used by the indexed structure to compute how many
     /// direct predecessors are still undelivered. The caller must have
@@ -421,6 +443,22 @@ mod tests {
                 vec![MsgId { sender: 1, seq: 2 }, MsgId { sender: 0, seq: 1 }],
                 "indexed={indexed}"
             );
+        }
+    }
+
+    #[test]
+    fn peek_and_pending_do_not_count_work() {
+        // The observability paths must not perturb the work counters the
+        // T7+ experiment (and the chaos digests) are built on.
+        for indexed in [false, true] {
+            let mut q: HoldbackQueue<u32> = HoldbackQueue::new(indexed, 2);
+            let vt = VectorClock::new(2);
+            q.insert(pend(1, 2, &[0, 2]), &vt);
+            let before = q.work();
+            assert!(q.peek(MsgId { sender: 1, seq: 2 }));
+            assert!(!q.peek(MsgId { sender: 1, seq: 1 }));
+            assert_eq!(q.pending().count(), 1);
+            assert_eq!(q.work(), before, "indexed={indexed}");
         }
     }
 

@@ -664,10 +664,8 @@ mod tests {
         // not acked (1 and 2).
         let r1 = m0.on_tick::<()>(t(20), &vc(4));
         assert_eq!(r1.len(), 2);
-        assert!(r1
-            .iter()
-            .all(|(d, w)| matches!(w, Wire::Flush { .. })
-                && matches!(d, Dest::One(k) if *k == 1 || *k == 2)));
+        assert!(r1.iter().all(|(d, w)| matches!(w, Wire::Flush { .. })
+            && matches!(d, Dest::One(k) if *k == 1 || *k == 2)));
         // Backoff doubles: next at +40ms, not +20ms.
         assert!(m0.on_tick::<()>(t(40), &vc(4)).is_empty());
         let r2 = m0.on_tick::<()>(t(60), &vc(4));
@@ -754,7 +752,14 @@ mod tests {
             id: ViewId(2),
             members: vec![ProcessId(0), ProcessId(1)],
         };
-        m1.on_wire::<()>(t(0), &Wire::Install { view: v2, cut: vc(3) }, &vc(3));
+        m1.on_wire::<()>(
+            t(0),
+            &Wire::Install {
+                view: v2,
+                cut: vc(3),
+            },
+            &vc(3),
+        );
         let rejoin = Wire::<()>::Flush {
             proposed: View {
                 id: ViewId(3),
@@ -900,7 +905,14 @@ mod tests {
             id: ViewId(2),
             members: vec![ProcessId(0), ProcessId(1)],
         };
-        m1.on_wire::<()>(t(0), &Wire::Install { view: v2, cut: vc(3) }, &vc(3));
+        m1.on_wire::<()>(
+            t(0),
+            &Wire::Install {
+                view: v2,
+                cut: vc(3),
+            },
+            &vc(3),
+        );
         let out = m1.on_heartbeat::<()>(2, ViewId(1));
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].0, Dest::One(2));

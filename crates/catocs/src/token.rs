@@ -15,6 +15,7 @@
 use crate::group::{GroupConfig, MsgId};
 use crate::wire::{DataMsg, Delivery, Dest, EndpointStats, Out, Wire};
 use clocks::vector::VectorClock;
+use simnet::obs::{ObsEvent, PhaseEdge, PhaseKind, ProbeHandle};
 use simnet::time::SimTime;
 use std::collections::{BTreeMap, VecDeque};
 
@@ -45,6 +46,8 @@ pub struct TokenAbcastEndpoint<P> {
     /// last send time). Retransmitted until `TokenAck` arrives — a lost
     /// token halts the entire total order.
     unacked_pass: Option<(usize, u64, u64, SimTime)>,
+    /// Observability sink (token rotations). Disabled by default.
+    probe: ProbeHandle,
     stats: EndpointStats,
     /// Buffer of own sent messages for retransmission, keyed by gseq.
     sent: BTreeMap<u64, DataMsg<P>>,
@@ -69,9 +72,16 @@ impl<P: Clone> TokenAbcastEndpoint<P> {
             last_nack: None,
             last_token_hops: 0,
             unacked_pass: None,
+            probe: ProbeHandle::none(),
             stats: EndpointStats::default(),
             sent: BTreeMap::new(),
         }
+    }
+
+    /// Installs an observability probe; token arrivals are recorded as
+    /// token-rotation phase events.
+    pub fn set_probe(&mut self, probe: ProbeHandle) {
+        self.probe = probe;
     }
 
     /// This member's index.
@@ -143,6 +153,16 @@ impl<P: Clone> TokenAbcastEndpoint<P> {
                 self.holding = true;
                 self.token_gseq = next_gseq;
                 self.token_hops = hops;
+                self.probe.emit(|| ObsEvent::Phase {
+                    at: now,
+                    who: self.me,
+                    kind: PhaseKind::TokenRotation,
+                    edge: PhaseEdge::Point,
+                    note: format!(
+                        "token arrived (hop {hops}, gseq {next_gseq}, {} queued)",
+                        self.pending_submit.len()
+                    ),
+                });
                 let (dels, mut out) = self.drain_submissions(now);
                 out.push(ack);
                 (dels, out)

@@ -1,11 +1,12 @@
 //! Virtual-synchrony chaos campaigns and the invariant checker behind
 //! them.
 //!
-//! A campaign runs a full group — [`CbcastEndpoint`] + [`FailureDetector`]
-//! + [`MembershipEngine`] wired into one [`ChaosNode`] per process — under
-//! a seed-derived [`FaultPlan`] (partitions, heals, crashes, recoveries,
-//! loss/duplication/delay episodes), then replays every process's event
-//! log through [`check`], which asserts the virtual-synchrony contract:
+//! A campaign runs a full group — [`CbcastEndpoint`], [`FailureDetector`]
+//! and [`MembershipEngine`] wired into one [`ChaosNode`] per process —
+//! under a seed-derived [`FaultPlan`] (partitions, heals, crashes,
+//! recoveries, loss/duplication/delay episodes), then replays every
+//! process's event log through [`check`], which asserts the
+//! virtual-synchrony contract:
 //!
 //! - **View agreement**: any view id installed by two processes has the
 //!   same membership and the same flush cut at both.
@@ -33,7 +34,7 @@
 //! decode chains across view installs) so each fix keeps a failing seed
 //! pinned against it.
 
-use crate::cbcast::CbcastEndpoint;
+use crate::cbcast::{BlockedReport, CbcastEndpoint};
 use crate::failure::FailureDetector;
 use crate::group::{GroupConfig, MsgId};
 use crate::membership::{FlushAction, MembershipEngine};
@@ -41,6 +42,7 @@ use crate::wire::{Dest, Out, Wire};
 use clocks::vector::VectorClock;
 use simnet::fault::{FaultPlan, FaultPlanConfig};
 use simnet::net::NetConfig;
+use simnet::obs::ProbeHandle;
 use simnet::process::{Ctx, Process, ProcessId, TimerId};
 use simnet::sim::SimBuilder;
 use simnet::time::{SimDuration, SimTime};
@@ -136,7 +138,10 @@ impl fmt::Display for Violation {
                 write!(f, "p{who} installed view {next} after view {prev}")
             }
             Violation::SurvivorMissedFinalView { who, expected, got } => {
-                write!(f, "survivor p{who} stopped at view {got:?}, final is {expected}")
+                write!(
+                    f,
+                    "survivor p{who} stopped at view {got:?}, final is {expected}"
+                )
             }
             Violation::DuplicateDelivery { who, id } => {
                 write!(f, "p{who} delivered {}:{} twice", id.sender, id.seq)
@@ -167,7 +172,11 @@ impl fmt::Display for Violation {
                 id.sender, id.seq
             ),
             Violation::UnknownMessage { who, id } => {
-                write!(f, "p{who} delivered unsent message {}:{}", id.sender, id.seq)
+                write!(
+                    f,
+                    "p{who} delivered unsent message {}:{}",
+                    id.sender, id.seq
+                )
             }
             Violation::ClockDivergence { a, b } => {
                 write!(f, "survivors p{a} and p{b} ended with different clocks")
@@ -274,7 +283,11 @@ pub fn check(logs: &[ProcessLog]) -> Vec<Violation> {
         for ev in &log.events {
             match ev {
                 NodeEvent::Send { .. } => {}
-                NodeEvent::Install { id, members: m, cut } => {
+                NodeEvent::Install {
+                    id,
+                    members: m,
+                    cut,
+                } => {
                     if let Some(prev) = last_view {
                         if *id <= prev {
                             violations.push(Violation::ViewNotMonotone {
@@ -286,9 +299,7 @@ pub fn check(logs: &[ProcessLog]) -> Vec<Violation> {
                     }
                     last_view = Some(*id);
                     let next: BTreeSet<usize> = m.iter().copied().collect();
-                    let prev_members = members
-                        .take()
-                        .unwrap_or_else(|| (0..cut.len()).collect());
+                    let prev_members = members.take().unwrap_or_else(|| (0..cut.len()).collect());
                     for s in prev_members.difference(&next) {
                         removed.entry(*s).or_insert_with(|| cut.get(*s));
                     }
@@ -296,7 +307,10 @@ pub fn check(logs: &[ProcessLog]) -> Vec<Violation> {
                 }
                 NodeEvent::Deliver { id } => {
                     if !delivered.insert(*id) {
-                        violations.push(Violation::DuplicateDelivery { who: log.who, id: *id });
+                        violations.push(Violation::DuplicateDelivery {
+                            who: log.who,
+                            id: *id,
+                        });
                         continue;
                     }
                     if let Some(cut) = removed.get(&id.sender) {
@@ -309,7 +323,10 @@ pub fn check(logs: &[ProcessLog]) -> Vec<Violation> {
                         }
                     }
                     let Some(mvt) = sends.get(id) else {
-                        violations.push(Violation::UnknownMessage { who: log.who, id: *id });
+                        violations.push(Violation::UnknownMessage {
+                            who: log.who,
+                            id: *id,
+                        });
                         continue;
                     };
                     let clock = vc.get_or_insert_with(|| VectorClock::new(mvt.len()));
@@ -361,14 +378,10 @@ pub fn check(logs: &[ProcessLog]) -> Vec<Violation> {
                 if !members.contains(&log.who) {
                     continue;
                 }
-                let got = log
-                    .events
-                    .iter()
-                    .rev()
-                    .find_map(|ev| match ev {
-                        NodeEvent::Install { id, .. } => Some(*id),
-                        _ => None,
-                    });
+                let got = log.events.iter().rev().find_map(|ev| match ev {
+                    NodeEvent::Install { id, .. } => Some(*id),
+                    _ => None,
+                });
                 if got != Some(*id) {
                     violations.push(Violation::SurvivorMissedFinalView {
                         who: log.who,
@@ -486,7 +499,13 @@ pub struct CampaignResult {
     /// were waived, safety checks still ran.
     pub blocked: bool,
     /// Order-sensitive digest of every log (replay determinism check).
+    /// Computed from the logs alone, so probed and unprobed runs of the
+    /// same seed produce the same digest.
     pub digest: u64,
+    /// Per-process holdback wait-graphs at the horizon: for every process
+    /// with messages still blocked in holdback, what each waits on and
+    /// why. Feeds the `experiments explain` CLI.
+    pub blocked_reports: Vec<(usize, Vec<BlockedReport>)>,
 }
 
 const TICK: TimerId = TimerId(0);
@@ -522,7 +541,14 @@ pub struct ChaosNode {
 impl ChaosNode {
     /// Creates member `me` under the campaign's config.
     pub fn new(me: usize, cfg: &CampaignConfig) -> Self {
+        Self::with_probe(me, cfg, ProbeHandle::none())
+    }
+
+    /// Creates member `me` with an observability probe installed on its
+    /// endpoint — used by the incident-dump rerun after a violation.
+    pub fn with_probe(me: usize, cfg: &CampaignConfig, probe: ProbeHandle) -> Self {
         let mut endpoint = CbcastEndpoint::new(me, cfg.n, cfg.group.clone());
+        endpoint.set_probe(probe);
         if cfg.knobs.no_chain_reset {
             endpoint.debug_skip_view_reset(true);
         }
@@ -591,7 +617,7 @@ impl ChaosNode {
                 self.route(ctx, flushed);
                 // Delivery blackout: our FlushOk clock must stay an upper
                 // bound on what we have delivered until the view installs.
-                self.endpoint.freeze();
+                self.endpoint.freeze(ctx.now());
             }
             FlushAction::ViewInstalled { view, cut } => {
                 let members: Vec<usize> = view.members.iter().map(|p| p.0).collect();
@@ -608,11 +634,7 @@ impl ChaosNode {
     }
 
     fn is_member(&self) -> bool {
-        self.engine
-            .view()
-            .members
-            .iter()
-            .any(|p| p.0 == self.me)
+        self.engine.view().members.iter().any(|p| p.0 == self.me)
     }
 }
 
@@ -754,20 +776,37 @@ fn digest_logs(logs: &[ProcessLog]) -> u64 {
 /// Runs one seeded campaign: generate the fault plan, run the group
 /// under it, extract the logs, and check the invariants.
 pub fn run_campaign(seed: u64, cfg: &CampaignConfig) -> CampaignResult {
+    run_campaign_with(seed, cfg, ProbeHandle::none())
+}
+
+/// [`run_campaign`] with an observability probe installed on every
+/// node's endpoint. Probe emissions are read-only, so the result —
+/// including the digest — is identical to an unprobed run of the same
+/// seed; only the probe's recording differs.
+pub fn run_campaign_with(seed: u64, cfg: &CampaignConfig, probe: ProbeHandle) -> CampaignResult {
     let plan = FaultPlan::generate(seed, cfg.n, &cfg.plan);
     let mut sim = SimBuilder::new(seed)
         .net(NetConfig::lossy_lan(cfg.drop_probability))
         .build::<Wire<u64>>();
     for me in 0..cfg.n {
-        sim.add_process(ChaosNode::new(me, cfg));
+        sim.add_process(ChaosNode::with_probe(me, cfg, probe.clone()));
     }
     plan.apply(&mut sim);
     sim.run_until(cfg.plan.horizon);
 
     let crashed = plan.crashed_at_horizon();
     let mut logs = Vec::with_capacity(cfg.n);
+    let mut blocked_reports = Vec::new();
     for p in 0..cfg.n {
         let node: &ChaosNode = sim.process(ProcessId(p)).expect("chaos node present");
+        // Wait-graphs are only meaningful for processes that were up at
+        // the horizon: a crashed node's stale holdback is not "blocked".
+        if !crashed.contains(&p) {
+            let reports = node.endpoint.blocked_report();
+            if !reports.is_empty() {
+                blocked_reports.push((p, reports));
+            }
+        }
         logs.push(ProcessLog {
             who: p,
             alive_at_end: !crashed.contains(&p),
@@ -835,6 +874,7 @@ pub fn run_campaign(seed: u64, cfg: &CampaignConfig) -> CampaignResult {
         survivors,
         blocked,
         digest,
+        blocked_reports,
     }
 }
 
@@ -965,7 +1005,8 @@ mod tests {
             "{v:?}"
         );
         assert!(
-            v.iter().any(|x| matches!(x, Violation::ClockDivergence { .. })),
+            v.iter()
+                .any(|x| matches!(x, Violation::ClockDivergence { .. })),
             "{v:?}"
         );
     }
@@ -1001,8 +1042,8 @@ mod tests {
             vt: vt(&[0, 0, 1]),
         }];
         logs[2].alive_at_end = false;
-        for w in 0..2 {
-            logs[w].events = vec![
+        for log in logs.iter_mut().take(2) {
+            log.events = vec![
                 NodeEvent::Install {
                     id: 1,
                     members: vec![0, 1],
@@ -1010,7 +1051,7 @@ mod tests {
                 },
                 NodeEvent::Deliver { id: id(2, 1) },
             ];
-            logs[w].final_clock = vt(&[0, 0, 1]);
+            log.final_clock = vt(&[0, 0, 1]);
         }
         assert!(check(&logs).is_empty());
     }
@@ -1040,6 +1081,50 @@ mod tests {
         assert_eq!(format!("{}", a.plan), format!("{}", b.plan));
     }
 
+    #[test]
+    fn probed_campaign_matches_unprobed_digest() {
+        // The whole observability layer rides on this: recording every
+        // span and phase must not perturb the run.
+        let cfg = CampaignConfig::default();
+        let plain = run_campaign(11, &cfg);
+        let (probe, rec) = ProbeHandle::recorder(256);
+        let probed = run_campaign_with(11, &cfg, probe);
+        assert_eq!(plain.digest, probed.digest);
+        assert_eq!(plain.violations, probed.violations);
+        assert_eq!(plain.delivered_total, probed.delivered_total);
+        // And the recorder actually saw protocol activity.
+        let rec = rec.borrow();
+        assert!((0..cfg.n).any(|p| !rec.events(p).is_empty()));
+    }
+
+    #[test]
+    fn wedged_flush_produces_blocked_or_frozen_evidence() {
+        // Seed 2 with flush retries disabled wedges the S2 view change;
+        // the campaign result must carry post-mortem evidence (frozen
+        // survivors and/or holdback wait-graphs) for the explainer.
+        let cfg = CampaignConfig {
+            n: 7,
+            group: GroupConfig {
+                indexed_holdback: true,
+                delta_timestamps: true,
+                ..GroupConfig::default()
+            },
+            knobs: BugKnobs {
+                no_flush_retry: true,
+                ..BugKnobs::default()
+            },
+            ..CampaignConfig::default()
+        };
+        let r = run_campaign(2, &cfg);
+        assert!(
+            !r.violations.is_empty(),
+            "seed 2 + no_flush_retry must violate"
+        );
+        let has_evidence =
+            !r.blocked_reports.is_empty() || r.logs.iter().any(|l| l.alive_at_end && l.frozen);
+        assert!(has_evidence, "no explainable evidence in {r:?}");
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
@@ -1058,10 +1143,15 @@ mod tests {
                 indexed in proptest::bool::ANY,
                 delta in proptest::bool::ANY,
             ) {
-                let mut cfg = CampaignConfig::default();
-                cfg.n = n;
-                cfg.group.indexed_holdback = indexed;
-                cfg.group.delta_timestamps = delta;
+                let cfg = CampaignConfig {
+                    n,
+                    group: GroupConfig {
+                        indexed_holdback: indexed,
+                        delta_timestamps: delta,
+                        ..GroupConfig::default()
+                    },
+                    ..CampaignConfig::default()
+                };
                 let r = run_campaign(seed, &cfg);
                 prop_assert!(
                     r.violations.is_empty(),
@@ -1083,8 +1173,8 @@ mod tests {
                 }
                 for a in 0..per_proc.len() {
                     for b in a + 1..per_proc.len() {
-                        for s in 0..n {
-                            let (x, y) = (&per_proc[a][s], &per_proc[b][s]);
+                        for (s, x) in per_proc[a].iter().enumerate() {
+                            let y = &per_proc[b][s];
                             let k = x.len().min(y.len());
                             prop_assert_eq!(
                                 &x[..k],

@@ -147,7 +147,11 @@ impl FaultPlan {
             match action {
                 0 => {
                     let pool: Vec<usize> = match &minority {
-                        Some(side) => side.iter().copied().filter(|p| !crashed.contains(p)).collect(),
+                        Some(side) => side
+                            .iter()
+                            .copied()
+                            .filter(|p| !crashed.contains(p))
+                            .collect(),
                         None => (0..n).filter(|p| !crashed.contains(p)).collect(),
                     };
                     let victim = pool[rng.gen_range(0..pool.len())];
@@ -170,8 +174,7 @@ impl FaultPlan {
                     // capped at (n - 1) / 2.
                     let want = rng.gen_range(crashed.len().max(1)..=max_down);
                     let mut side = crashed.clone();
-                    let mut pool: Vec<usize> =
-                        (0..n).filter(|p| !crashed.contains(p)).collect();
+                    let mut pool: Vec<usize> = (0..n).filter(|p| !crashed.contains(p)).collect();
                     while side.len() < want {
                         let i = rng.gen_range(0..pool.len());
                         side.push(pool.swap_remove(i));
@@ -214,7 +217,7 @@ impl FaultPlan {
                 }
             }
             let gap = rng.gen_range(cfg.min_gap.as_micros()..=cfg.max_gap.as_micros());
-            t = t + SimDuration::from_micros(gap);
+            t += SimDuration::from_micros(gap);
         }
 
         // Close every open episode before the settle window.
@@ -326,9 +329,7 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let cfg = FaultPlanConfig::default();
-        let plans: Vec<FaultPlan> = (0..20)
-            .map(|s| FaultPlan::generate(s, 5, &cfg))
-            .collect();
+        let plans: Vec<FaultPlan> = (0..20).map(|s| FaultPlan::generate(s, 5, &cfg)).collect();
         let distinct = plans
             .iter()
             .map(|p| format!("{p}"))
@@ -376,10 +377,7 @@ mod tests {
                             assert!(a.len() <= max_down, "minority too big: {plan}");
                             assert_eq!(a.len() + b.len(), n, "partition not a cover: {plan}");
                             for p in &crashed {
-                                assert!(
-                                    a.contains(p),
-                                    "crashed p{p} outside minority: {plan}"
-                                );
+                                assert!(a.contains(p), "crashed p{p} outside minority: {plan}");
                             }
                             minority = Some(a.clone());
                         }

@@ -1,0 +1,332 @@
+//! A minimal JSON value parser.
+//!
+//! The offline serde stand-in has no serializer or deserializer, so the
+//! crates that need JSON (trace round-trips, the Perfetto exporter's
+//! self-check) hand-roll the encoding and validate it against this
+//! parser. It is deliberately small: enough of RFC 8259 to parse what we
+//! emit — objects, arrays, strings (with escapes and multi-byte UTF-8),
+//! numbers, booleans and null — while rejecting malformed or trailing
+//! input instead of guessing.
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number. Integral values up to 2^53 round-trip exactly.
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, as ordered key/value pairs (duplicates preserved).
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parses a complete JSON document. Returns `None` on any malformed
+    /// or trailing input.
+    pub fn parse(s: &str) -> Option<JsonValue> {
+        let mut p = Parser {
+            s: s.as_bytes(),
+            i: 0,
+        };
+        let v = p.value()?;
+        p.ws();
+        (p.i == p.s.len()).then_some(v)
+    }
+
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find_map(|(k, v)| (k == key).then_some(v)),
+            _ => None,
+        }
+    }
+
+    /// The value as an object's fields.
+    pub fn as_obj(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer (rejects fractions).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes `s` for embedding in a JSON string literal (no quotes added).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.s.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Option<()> {
+        (self.peek()? == c).then(|| self.i += 1)
+    }
+
+    fn lit(&mut self, word: &[u8]) -> Option<()> {
+        self.ws();
+        let end = self.i + word.len();
+        (self.s.get(self.i..end)? == word).then(|| self.i = end)
+    }
+
+    fn value(&mut self) -> Option<JsonValue> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Some(JsonValue::Str(self.string()?)),
+            b't' => self.lit(b"true").map(|()| JsonValue::Bool(true)),
+            b'f' => self.lit(b"false").map(|()| JsonValue::Bool(false)),
+            b'n' => self.lit(b"null").map(|()| JsonValue::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            _ => None,
+        }
+    }
+
+    fn object(&mut self) -> Option<JsonValue> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Some(JsonValue::Obj(fields));
+        }
+        loop {
+            self.ws();
+            let k = self.string()?;
+            self.eat(b':')?;
+            let v = self.value()?;
+            fields.push((k, v));
+            match self.peek()? {
+                b',' => self.i += 1,
+                b'}' => {
+                    self.i += 1;
+                    return Some(JsonValue::Obj(fields));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn array(&mut self) -> Option<JsonValue> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Some(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.i += 1,
+                b']' => {
+                    self.i += 1;
+                    return Some(JsonValue::Arr(items));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let c = *self.s.get(self.i)?;
+            self.i += 1;
+            match c {
+                b'"' => return Some(out),
+                b'\\' => {
+                    let e = *self.s.get(self.i)?;
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self.s.get(self.i..self.i + 4)?;
+                            self.i += 4;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                        }
+                        _ => return None,
+                    }
+                }
+                c => {
+                    // Re-assemble multi-byte UTF-8 sequences.
+                    if c < 0x80 {
+                        out.push(c as char);
+                    } else {
+                        let start = self.i - 1;
+                        let len = match c {
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            _ => 4,
+                        };
+                        let bytes = self.s.get(start..start + len)?;
+                        self.i = start + len;
+                        out.push_str(std::str::from_utf8(bytes).ok()?);
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<JsonValue> {
+        self.ws();
+        let start = self.i;
+        if self.s.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        let digits = |p: &mut Self| {
+            let from = p.i;
+            while p.i < p.s.len() && p.s[p.i].is_ascii_digit() {
+                p.i += 1;
+            }
+            p.i > from
+        };
+        if !digits(self) {
+            return None;
+        }
+        if self.s.get(self.i) == Some(&b'.') {
+            self.i += 1;
+            if !digits(self) {
+                return None;
+            }
+        }
+        if matches!(self.s.get(self.i), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.s.get(self.i), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            if !digits(self) {
+                return None;
+            }
+        }
+        std::str::from_utf8(&self.s[start..self.i])
+            .ok()?
+            .parse()
+            .ok()
+            .map(JsonValue::Num)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let v = JsonValue::parse(
+            r#"{"traceEvents":[{"name":"m0.1","ts":10,"ok":true},{"x":null}],"n":-2.5e1}"#,
+        )
+        .unwrap();
+        let evs = v.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].get("name").unwrap().as_str(), Some("m0.1"));
+        assert_eq!(evs[0].get("ts").unwrap().as_u64(), Some(10));
+        assert_eq!(evs[0].get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(evs[1].get("x"), Some(&JsonValue::Null));
+        assert_eq!(v.get("n").unwrap().as_f64(), Some(-25.0));
+    }
+
+    #[test]
+    fn rejects_malformed_and_trailing_input() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "{} trailing", "tru", "1.2.3"] {
+            assert_eq!(JsonValue::parse(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn escape_roundtrips_through_parse() {
+        let s = "quote \" slash \\ tab \t newline \n höldback—阻塞";
+        let doc = format!("{{\"label\":\"{}\"}}", escape(s));
+        let v = JsonValue::parse(&doc).unwrap();
+        assert_eq!(v.get("label").unwrap().as_str(), Some(s));
+    }
+
+    #[test]
+    fn as_u64_rejects_fractions_and_negatives() {
+        assert_eq!(JsonValue::Num(3.0).as_u64(), Some(3));
+        assert_eq!(JsonValue::Num(3.5).as_u64(), None);
+        assert_eq!(JsonValue::Num(-1.0).as_u64(), None);
+    }
+}

@@ -51,8 +51,10 @@
 
 pub mod event;
 pub mod fault;
+pub mod json;
 pub mod metrics;
 pub mod net;
+pub mod obs;
 pub mod process;
 pub mod sim;
 pub mod time;
@@ -64,6 +66,7 @@ pub mod prelude {
     pub use crate::{
         fault::{FaultKind, FaultPlan, FaultPlanConfig},
         net::{LatencyModel, NetConfig},
+        obs::{FlightRecorder, ObsEvent, Probe, ProbeHandle, SpanId},
         process::{Ctx, Process, ProcessId, TimerId},
         sim::{Sim, SimBuilder},
         time::{SimDuration, SimTime},

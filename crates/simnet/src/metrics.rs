@@ -159,6 +159,12 @@ impl Metrics {
     pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
         self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
     }
+
+    /// All histograms, for reports — the latency counterpart of
+    /// [`Metrics::counters`] / [`Metrics::gauges`].
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
 }
 
 #[cfg(test)]
@@ -224,5 +230,21 @@ mod tests {
         m.observe("lat", SimDuration::from_millis(3));
         assert_eq!(m.histogram("lat").unwrap().count(), 1);
         assert!(m.histogram("nope").is_none());
+    }
+
+    #[test]
+    fn histograms_iterate_in_name_order() {
+        let mut m = Metrics::new();
+        m.observe("b.lat", SimDuration::from_millis(2));
+        m.observe("a.lat", SimDuration::from_millis(1));
+        m.observe("a.lat", SimDuration::from_millis(3));
+        let got: Vec<(String, u64)> = m
+            .histograms()
+            .map(|(k, h)| (k.to_string(), h.count()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![("a.lat".to_string(), 2), ("b.lat".to_string(), 1)]
+        );
     }
 }

@@ -261,15 +261,13 @@ impl<M: Debug + Clone + 'static> Sim<M> {
                 self.metrics.incr("net.delivered", 1);
                 self.metrics
                     .observe("net.latency", self.now.saturating_since(sent_at));
-                if self.trace.is_enabled() {
-                    let label = format!("{msg:?}");
-                    self.trace.record(TraceEvent::Deliver {
-                        at: self.now,
-                        from,
-                        to,
-                        label: truncate(label, 60),
-                    });
-                }
+                let at = self.now;
+                self.trace.record_with(|| TraceEvent::Deliver {
+                    at,
+                    from,
+                    to,
+                    label: truncate(format!("{msg:?}"), 60),
+                });
                 self.invoke(to, Stimulus::Message { from, msg });
             }
             EventKind::Timer { proc, timer } => {
@@ -303,14 +301,15 @@ impl<M: Debug + Clone + 'static> Sim<M> {
                 }
             }
             EventKind::PartitionStart { a, b } => {
-                if self.trace.is_enabled() {
+                let at = self.now;
+                self.trace.record_with(|| {
                     let a: Vec<usize> = a.iter().map(|p| p.0).collect();
                     let b: Vec<usize> = b.iter().map(|p| p.0).collect();
-                    self.trace.record(TraceEvent::NetFault {
-                        at: self.now,
+                    TraceEvent::NetFault {
+                        at,
                         label: format!("partition {a:?} | {b:?}"),
-                    });
-                }
+                    }
+                });
                 self.net.partition(&a, &b);
                 self.metrics.incr("faults.partition", 1);
             }
@@ -329,14 +328,13 @@ impl<M: Debug + Clone + 'static> Sim<M> {
             } => {
                 self.net.degrade(extra_drop, dup_probability, delay_factor);
                 self.metrics.incr("faults.degrade", 1);
-                if self.trace.is_enabled() {
-                    self.trace.record(TraceEvent::NetFault {
-                        at: self.now,
-                        label: format!(
-                            "degrade drop+{extra_drop:.2} dup={dup_probability:.2} delay x{delay_factor:.1}"
-                        ),
-                    });
-                }
+                let at = self.now;
+                self.trace.record_with(|| TraceEvent::NetFault {
+                    at,
+                    label: format!(
+                        "degrade drop+{extra_drop:.2} dup={dup_probability:.2} delay x{delay_factor:.1}"
+                    ),
+                });
             }
             EventKind::NetRestore => {
                 self.net.restore();
@@ -433,7 +431,7 @@ impl<M: Debug + Clone + 'static> Sim<M> {
                     d
                 } else {
                     crate::time::SimDuration::from_micros(
-                        (d.as_micros() as f64 * factor).round() as u64,
+                        (d.as_micros() as f64 * factor).round() as u64
                     )
                 }
             };

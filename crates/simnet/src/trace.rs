@@ -7,6 +7,7 @@
 //! device the paper uses. Traces also hash deterministically, which the
 //! test suite uses to prove replayability.
 
+use crate::json::{escape, JsonValue};
 use crate::process::ProcessId;
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
@@ -72,23 +73,7 @@ impl TraceEvent {
     /// tagged enum form: `{"Send":{"at":…,"from":…,"to":…,"label":…}}`.
     /// (Hand-rolled: the offline serde stand-in has no serializer.)
     pub fn to_json(&self) -> String {
-        fn esc(s: &str) -> String {
-            let mut out = String::with_capacity(s.len() + 2);
-            for c in s.chars() {
-                match c {
-                    '"' => out.push_str("\\\""),
-                    '\\' => out.push_str("\\\\"),
-                    '\n' => out.push_str("\\n"),
-                    '\r' => out.push_str("\\r"),
-                    '\t' => out.push_str("\\t"),
-                    c if (c as u32) < 0x20 => {
-                        out.push_str(&format!("\\u{:04x}", c as u32));
-                    }
-                    c => out.push(c),
-                }
-            }
-            out
-        }
+        let esc = escape;
         match self {
             TraceEvent::Send {
                 at,
@@ -149,60 +134,14 @@ impl TraceEvent {
     /// Decodes one line produced by [`TraceEvent::to_json`]. Returns
     /// `None` on any malformed input.
     pub fn from_json(line: &str) -> Option<Self> {
-        let mut p = JsonParser {
-            s: line.as_bytes(),
-            i: 0,
+        let doc = JsonValue::parse(line)?;
+        let (tag, body) = match doc.as_obj()? {
+            [(tag, body)] => (tag.clone(), body),
+            _ => return None,
         };
-        p.ws();
-        p.expect(b'{')?;
-        let tag = p.string()?;
-        p.expect(b':')?;
-        p.expect(b'{')?;
-        let mut fields: Vec<(String, JsonVal)> = Vec::new();
-        if p.peek() != Some(b'}') {
-            loop {
-                let k = p.string()?;
-                p.expect(b':')?;
-                let v = p.value()?;
-                fields.push((k, v));
-                match p.next_tok()? {
-                    b',' => continue,
-                    b'}' => break,
-                    _ => return None,
-                }
-            }
-        } else {
-            p.expect(b'}')?;
-        }
-        p.expect(b'}')?;
-        p.ws();
-        if p.i != p.s.len() {
-            return None;
-        }
-        let num = |k: &str| -> Option<u64> {
-            fields.iter().find_map(|(n, v)| {
-                (n == k).then_some(match v {
-                    JsonVal::Num(x) => Some(*x),
-                    _ => None,
-                })?
-            })
-        };
-        let txt = |k: &str| -> Option<String> {
-            fields.iter().find_map(|(n, v)| {
-                (n == k).then_some(match v {
-                    JsonVal::Str(s) => Some(s.clone()),
-                    _ => None,
-                })?
-            })
-        };
-        let boolean = |k: &str| -> Option<bool> {
-            fields.iter().find_map(|(n, v)| {
-                (n == k).then_some(match v {
-                    JsonVal::Bool(b) => Some(*b),
-                    _ => None,
-                })?
-            })
-        };
+        let num = |k: &str| -> Option<u64> { body.get(k)?.as_u64() };
+        let txt = |k: &str| -> Option<String> { Some(body.get(k)?.as_str()?.to_string()) };
+        let boolean = |k: &str| -> Option<bool> { body.get(k)?.as_bool() };
         let at = SimTime::from_micros(num("at")?);
         match tag.as_str() {
             "Send" => Some(TraceEvent::Send {
@@ -242,115 +181,6 @@ impl TraceEvent {
     }
 }
 
-enum JsonVal {
-    Num(u64),
-    Str(String),
-    Bool(bool),
-}
-
-/// Minimal JSON tokenizer for [`TraceEvent::from_json`].
-struct JsonParser<'a> {
-    s: &'a [u8],
-    i: usize,
-}
-
-impl JsonParser<'_> {
-    fn ws(&mut self) {
-        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
-            self.i += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Option<u8> {
-        self.ws();
-        self.s.get(self.i).copied()
-    }
-
-    fn next_tok(&mut self) -> Option<u8> {
-        let c = self.peek()?;
-        self.i += 1;
-        Some(c)
-    }
-
-    fn expect(&mut self, c: u8) -> Option<()> {
-        (self.next_tok()? == c).then_some(())
-    }
-
-    fn string(&mut self) -> Option<String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            let c = *self.s.get(self.i)?;
-            self.i += 1;
-            match c {
-                b'"' => return Some(out),
-                b'\\' => {
-                    let e = *self.s.get(self.i)?;
-                    self.i += 1;
-                    match e {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'u' => {
-                            let hex = self.s.get(self.i..self.i + 4)?;
-                            self.i += 4;
-                            let code =
-                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
-                            out.push(char::from_u32(code)?);
-                        }
-                        _ => return None,
-                    }
-                }
-                c => {
-                    // Re-assemble multi-byte UTF-8 sequences.
-                    if c < 0x80 {
-                        out.push(c as char);
-                    } else {
-                        let start = self.i - 1;
-                        let len = match c {
-                            0xC0..=0xDF => 2,
-                            0xE0..=0xEF => 3,
-                            _ => 4,
-                        };
-                        let bytes = self.s.get(start..start + len)?;
-                        self.i = start + len;
-                        out.push_str(std::str::from_utf8(bytes).ok()?);
-                    }
-                }
-            }
-        }
-    }
-
-    fn value(&mut self) -> Option<JsonVal> {
-        match self.peek()? {
-            b'"' => Some(JsonVal::Str(self.string()?)),
-            b't' => {
-                self.i += 4;
-                (self.s.get(self.i - 4..self.i)? == b"true").then_some(JsonVal::Bool(true))
-            }
-            b'f' => {
-                self.i += 5;
-                (self.s.get(self.i - 5..self.i)? == b"false").then_some(JsonVal::Bool(false))
-            }
-            b'0'..=b'9' => {
-                let start = self.i;
-                while self.i < self.s.len() && self.s[self.i].is_ascii_digit() {
-                    self.i += 1;
-                }
-                std::str::from_utf8(&self.s[start..self.i])
-                    .ok()?
-                    .parse()
-                    .ok()
-                    .map(JsonVal::Num)
-            }
-            _ => None,
-        }
-    }
-}
-
 /// A recorded sequence of [`TraceEvent`]s.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct Trace {
@@ -382,6 +212,15 @@ impl Trace {
     pub fn record(&mut self, ev: TraceEvent) {
         if self.enabled {
             self.events.push(ev);
+        }
+    }
+
+    /// Records the event produced by `f`, invoking `f` only when
+    /// recording is enabled — hot paths pass a closure so label
+    /// formatting costs nothing in untraced runs.
+    pub fn record_with(&mut self, f: impl FnOnce() -> TraceEvent) {
+        if self.enabled {
+            self.events.push(f());
         }
     }
 
@@ -469,7 +308,14 @@ impl Trace {
                 if i == col {
                     let mut c = cell.clone();
                     if c.len() > COL {
-                        c.truncate(COL);
+                        // Truncate on a char boundary: a byte-offset
+                        // truncate panics mid-way through a multi-byte
+                        // label character.
+                        let mut cut = COL;
+                        while !c.is_char_boundary(cut) {
+                            cut -= 1;
+                        }
+                        c.truncate(cut);
                     }
                     let _ = write!(out, " {c:^COL$} |");
                 } else {
@@ -492,9 +338,9 @@ impl Trace {
                 TraceEvent::Send { label, .. }
                 | TraceEvent::Deliver { label, .. }
                 | TraceEvent::Drop { label, .. } => keep(label),
-                TraceEvent::Mark { .. } | TraceEvent::Fault { .. } | TraceEvent::NetFault { .. } => {
-                    true
-                }
+                TraceEvent::Mark { .. }
+                | TraceEvent::Fault { .. }
+                | TraceEvent::NetFault { .. } => true,
             };
             if retain {
                 t.record(e.clone());
@@ -581,6 +427,46 @@ mod tests {
         assert!(d.contains("m1 ->P1"));
         assert!(d.contains("m1 <-P0"));
         assert!(d.contains("* acted"));
+    }
+
+    #[test]
+    fn long_multibyte_label_truncates_on_char_boundary() {
+        // Regression: a label whose 22nd byte falls inside a multi-byte
+        // character used to panic `String::truncate` mid-render.
+        let mut t = Trace::new();
+        t.enable();
+        // Rendered cell is "* m1 жжж…": the odd ASCII prefix puts byte 22
+        // in the middle of a two-byte 'ж'.
+        t.record(TraceEvent::Mark {
+            at: SimTime::from_micros(5),
+            proc: ProcessId(0),
+            label: "m1 жжжжжжжжжжжж".into(),
+        });
+        let d = t.render_event_diagram(1, &[]);
+        assert!(d.contains("m1 ж"), "{d}");
+    }
+
+    #[test]
+    fn record_with_is_lazy_when_disabled() {
+        let mut t = Trace::new();
+        let mut called = false;
+        t.record_with(|| {
+            called = true;
+            TraceEvent::Mark {
+                at: SimTime::ZERO,
+                proc: ProcessId(0),
+                label: "never".into(),
+            }
+        });
+        assert!(!called, "label closure must not run while disabled");
+        assert!(t.events().is_empty());
+        t.enable();
+        t.record_with(|| TraceEvent::Mark {
+            at: SimTime::ZERO,
+            proc: ProcessId(0),
+            label: "now".into(),
+        });
+        assert_eq!(t.events().len(), 1);
     }
 
     #[test]
