@@ -7,6 +7,8 @@
 //! experiments chaos --seed 23 --bug no-detector-reset
 //! experiments explain --seed 2 --bug no-flush-retry [--msg m0.3]
 //! experiments t7plus --perfetto out.json
+//! experiments bench --json BENCH_new.json [--wall]
+//! experiments benchdiff BENCH_baseline.json BENCH_new.json --gate 10
 //! ```
 
 use bench::experiments as ex;
@@ -16,7 +18,9 @@ fn print_usage() {
         "usage: experiments [--perfetto FILE] \
          [all|list|f1|f2|f3|f4|t5|t6|t7|t7plus|t8|t9|t10|t11|t12|t13|t14|t15|t16|ablate\
          |chaos [--seed N] [--bug KNOB]\
-         |explain --seed N [--msg mS.Q] [--bug KNOB]]...\n\
+         |explain --seed N [--msg mS.Q] [--bug KNOB]\
+         |bench [--json FILE] [--wall]\
+         |benchdiff OLD.json NEW.json [--gate PCT]]...\n\
          KNOB: no-detector-reset | no-flush-retry | no-chain-reset"
     );
 }
@@ -60,6 +64,9 @@ fn main() {
                      claims; ablate — design ablations; chaos — fault \
                      campaigns (--seed N replays one, --bug K injects a \
                      regression); explain — why a message is still blocked; \
+                     bench — performance telemetry snapshot (--json FILE, \
+                     --wall); benchdiff OLD NEW — compare snapshots \
+                     (--gate PCT fails on regressions); \
                      all. --perfetto FILE exports a trace (f1, t7plus)."
                 );
             }
@@ -135,6 +142,99 @@ fn main() {
                     if violations > 0 {
                         std::process::exit(1);
                     }
+                }
+            }
+            "bench" => {
+                let mut json_path: Option<String> = None;
+                let mut wall = false;
+                while i < args.len() {
+                    match args[i].as_str() {
+                        "--json" => {
+                            json_path = Some(args.get(i + 1).cloned().unwrap_or_else(|| {
+                                eprintln!("bench --json needs an output file");
+                                std::process::exit(2);
+                            }));
+                            i += 2;
+                        }
+                        "--wall" => {
+                            wall = true;
+                            i += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                let snap = ex::bench::collect(wall);
+                println!("{}", ex::bench::render(&snap));
+                if let Some(path) = json_path {
+                    let json = snap.to_json();
+                    // Validate through the in-tree parser before writing.
+                    if let Err(e) = bench::telemetry::BenchSnapshot::parse(&json) {
+                        eprintln!("bench: emitted snapshot failed validation: {e}");
+                        std::process::exit(1);
+                    }
+                    match std::fs::write(&path, &json) {
+                        Ok(()) => eprintln!("bench: snapshot written to {path}"),
+                        Err(e) => {
+                            eprintln!("bench: could not write {path}: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+            }
+            "benchdiff" => {
+                let mut paths = Vec::new();
+                let mut gate: Option<f64> = None;
+                while i < args.len() {
+                    match args[i].as_str() {
+                        "--gate" => {
+                            gate =
+                                Some(args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(
+                                    || {
+                                        eprintln!("benchdiff --gate needs a percentage");
+                                        std::process::exit(2);
+                                    },
+                                ));
+                            i += 2;
+                        }
+                        a if !a.starts_with("--") && paths.len() < 2 => {
+                            paths.push(a.to_string());
+                            i += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                if paths.len() != 2 {
+                    eprintln!("benchdiff needs OLD.json and NEW.json");
+                    std::process::exit(2);
+                }
+                let load = |path: &str| -> bench::telemetry::BenchSnapshot {
+                    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                        eprintln!("benchdiff: could not read {path}: {e}");
+                        std::process::exit(2);
+                    });
+                    bench::telemetry::BenchSnapshot::parse(&text).unwrap_or_else(|e| {
+                        eprintln!("benchdiff: {path}: {e}");
+                        std::process::exit(2);
+                    })
+                };
+                let old = load(&paths[0]);
+                let new = load(&paths[1]);
+                let pct = gate.unwrap_or(bench::telemetry::DEFAULT_GATE_PCT);
+                let report = bench::telemetry::diff(&old, &new, pct);
+                println!(
+                    "{}",
+                    bench::telemetry::render_diff(&report, &paths[0], &paths[1])
+                );
+                if !report.regressions.is_empty() {
+                    eprintln!(
+                        "benchdiff: {} gated metric(s) regressed past ±{pct}%: {}",
+                        report.regressions.len(),
+                        report.regressions.join(", ")
+                    );
+                    if gate.is_some() {
+                        std::process::exit(1);
+                    }
+                    eprintln!("benchdiff: informational run (no --gate): exit 0");
                 }
             }
             "explain" => {

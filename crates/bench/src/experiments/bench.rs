@@ -1,0 +1,452 @@
+//! bench — the quantitative performance snapshot behind `experiments
+//! bench` and the BENCH_*.json regression gate.
+//!
+//! Four deterministic workloads, one seed:
+//!
+//! - the T7+ hot path at N=64 across the full {scan,indexed} ×
+//!   {full,delta} grid — bytes/msg, holdback work/event, hold-time
+//!   quantiles, and virtual-time throughput per configuration;
+//! - the T7+ N-scaling points (indexed+delta) — how work/event and
+//!   bytes/msg move with group size;
+//! - sampler-instrumented simulated groups (causal and token-ring) —
+//!   deliveries and scheduler events per virtual second, hold-time
+//!   quantiles, and time-series peaks (holdback depth, stability-horizon
+//!   lag, token queue);
+//! - a cut of the chaos campaign — deliveries, scheduler work and hold
+//!   times under fault injection.
+//!
+//! Virtual-time metrics are exactly reproducible (`det: true`) and make
+//! up the whole default snapshot, so rerunning the same seed produces a
+//! byte-identical file. Wall-clock throughput is collected only with
+//! `--wall` and marked `det: false`: informational, never gated.
+
+use crate::table::Table;
+use crate::telemetry::{BenchSnapshot, Direction};
+use catocs::endpoint::Discipline;
+use catocs::group::GroupConfig;
+use catocs::harness::{spawn_group, GroupApp, GroupCtx};
+use catocs::vsync::BugKnobs;
+use catocs::wire::{Delivery, Wire};
+use simnet::metrics::Histogram;
+use simnet::net::NetConfig;
+use simnet::sim::SimBuilder;
+use simnet::time::{SimDuration, SimTime};
+
+use super::{chaos, t7plus};
+
+/// The seed every deterministic workload runs under.
+pub const SNAPSHOT_SEED: u64 = 42;
+
+/// Group size for the simulated-group workloads.
+const GROUP_N: usize = 8;
+/// Virtual horizon of each simulated-group run.
+const GROUP_HORIZON: SimTime = SimTime::from_secs(5);
+/// Sampling cadence for the time-series gauges.
+const SAMPLE_EVERY: SimDuration = SimDuration::from_millis(50);
+/// Messages each member multicasts (one per app tick).
+const GROUP_MSGS: u32 = 40;
+/// Group size of the T7+ grid cell the per-config metrics come from.
+const GRID_N: usize = 64;
+/// Chaos campaign seeds folded into the snapshot.
+const CHAOS_SEEDS: u64 = 4;
+
+/// Each member multicasts `remaining` messages, one per app tick.
+struct Chatter {
+    remaining: u32,
+}
+
+impl GroupApp<u64> for Chatter {
+    fn on_tick(&mut self, ctx: &mut GroupCtx<'_>) -> Vec<u64> {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            vec![ctx.me as u64]
+        } else {
+            Vec::new()
+        }
+    }
+    fn on_deliver(&mut self, _ctx: &mut GroupCtx<'_>, _d: &Delivery<u64>) -> Vec<u64> {
+        Vec::new()
+    }
+}
+
+/// What one simulated-group run measured.
+struct GroupRun {
+    delivered: u64,
+    events: u64,
+    hold: Histogram,
+    /// (series name, max over the run) for every sampled series.
+    series_max: Vec<(String, f64)>,
+    wall_secs: f64,
+}
+
+fn run_group(discipline: Discipline) -> GroupRun {
+    let mut sim = SimBuilder::new(SNAPSHOT_SEED)
+        .net(NetConfig::lossy_lan(0.02))
+        .sample_every(SAMPLE_EVERY)
+        .build::<Wire<u64>>();
+    spawn_group(
+        &mut sim,
+        GROUP_N,
+        discipline,
+        GroupConfig::default(),
+        Some(SimDuration::from_millis(20)),
+        |_| Chatter {
+            remaining: GROUP_MSGS,
+        },
+    );
+    let start = std::time::Instant::now();
+    let events = sim.run_until(GROUP_HORIZON);
+    let wall_secs = start.elapsed().as_secs_f64();
+    let m = sim.metrics();
+    GroupRun {
+        delivered: m.counter("group.delivered"),
+        events,
+        hold: m.histogram("group.hold_time").cloned().unwrap_or_default(),
+        series_max: m
+            .series()
+            .map(|(name, s)| (name.to_string(), s.max_value()))
+            .collect(),
+        wall_secs,
+    }
+}
+
+fn push_group(snap: &mut BenchSnapshot, prefix: &str, r: &GroupRun, wall: bool) {
+    let vsecs = GROUP_HORIZON.as_secs_f64();
+    snap.push(
+        format!("{prefix}.delivered"),
+        r.delivered as f64,
+        "msgs",
+        Direction::HigherIsBetter,
+        true,
+    );
+    snap.push(
+        format!("{prefix}.deliveries_per_vsec"),
+        r.delivered as f64 / vsecs,
+        "msg/vsec",
+        Direction::HigherIsBetter,
+        true,
+    );
+    snap.push(
+        format!("{prefix}.events_per_vsec"),
+        r.events as f64 / vsecs,
+        "ev/vsec",
+        Direction::LowerIsBetter,
+        true,
+    );
+    snap.push(
+        format!("{prefix}.hold_p50_ms"),
+        r.hold.quantile(0.50).as_millis_f64(),
+        "ms",
+        Direction::LowerIsBetter,
+        true,
+    );
+    snap.push(
+        format!("{prefix}.hold_p99_ms"),
+        r.hold.quantile(0.99).as_millis_f64(),
+        "ms",
+        Direction::LowerIsBetter,
+        true,
+    );
+    for (name, max) in &r.series_max {
+        // Peaks of the sampled queue/buffer gauges; `ts.sim.queue.*` and
+        // the `.sum` aggregates stay out to keep the snapshot focused.
+        if let Some(short) = name
+            .strip_prefix("ts.")
+            .and_then(|n| n.strip_suffix(".max"))
+        {
+            if short.starts_with("sim.") {
+                continue;
+            }
+            snap.push(
+                format!("{prefix}.ts.{short}_peak"),
+                *max,
+                "msgs",
+                Direction::LowerIsBetter,
+                true,
+            );
+        }
+    }
+    if wall {
+        snap.push(
+            format!("{prefix}.wall_secs"),
+            r.wall_secs,
+            "s",
+            Direction::LowerIsBetter,
+            false,
+        );
+        snap.push(
+            format!("{prefix}.events_per_wallsec"),
+            r.events as f64 / r.wall_secs.max(1e-9),
+            "ev/s",
+            Direction::HigherIsBetter,
+            false,
+        );
+    }
+}
+
+fn push_point(
+    snap: &mut BenchSnapshot,
+    prefix: &str,
+    p: &t7plus::HotPathPoint,
+    wall_secs: f64,
+    wall: bool,
+) {
+    let vsecs = p.virtual_elapsed_us as f64 / 1e6;
+    snap.push(
+        format!("{prefix}.bytes_per_msg"),
+        p.bytes_per_msg,
+        "B/msg",
+        Direction::LowerIsBetter,
+        true,
+    );
+    snap.push(
+        format!("{prefix}.work_per_event"),
+        p.work_per_event,
+        "ops/ev",
+        Direction::LowerIsBetter,
+        true,
+    );
+    snap.push(
+        format!("{prefix}.holdback_peak"),
+        p.holdback_peak as f64,
+        "msgs",
+        Direction::LowerIsBetter,
+        true,
+    );
+    snap.push(
+        format!("{prefix}.hold_p99_ms"),
+        p.hold_p99_ms,
+        "ms",
+        Direction::LowerIsBetter,
+        true,
+    );
+    snap.push(
+        format!("{prefix}.events_per_vsec"),
+        p.wire_events as f64 / vsecs,
+        "ev/vsec",
+        Direction::HigherIsBetter,
+        true,
+    );
+    snap.push(
+        format!("{prefix}.deliveries_per_vsec"),
+        p.delivered as f64 / vsecs,
+        "msg/vsec",
+        Direction::HigherIsBetter,
+        true,
+    );
+    if wall {
+        snap.push(
+            format!("{prefix}.wall_secs"),
+            wall_secs,
+            "s",
+            Direction::LowerIsBetter,
+            false,
+        );
+        snap.push(
+            format!("{prefix}.events_per_wallsec"),
+            p.wire_events as f64 / wall_secs.max(1e-9),
+            "ev/s",
+            Direction::HigherIsBetter,
+            false,
+        );
+    }
+}
+
+/// Collects the full snapshot. With `wall` false (the default) every
+/// metric is virtual-time deterministic and the serialized snapshot is
+/// byte-identical across reruns; with `wall` true, wall-clock throughput
+/// rides along marked `det: false`.
+pub fn collect(wall: bool) -> BenchSnapshot {
+    let mut snap = BenchSnapshot::new(SNAPSHOT_SEED);
+
+    // T7+ hot-path grid at fixed N.
+    for (indexed, delta) in [(false, false), (false, true), (true, false), (true, true)] {
+        let start = std::time::Instant::now();
+        let p = t7plus::measure(GRID_N, indexed, delta);
+        let wall_secs = start.elapsed().as_secs_f64();
+        let prefix = format!(
+            "t7plus.n{GRID_N}.{}.{}",
+            if indexed { "indexed" } else { "scan" },
+            if delta { "delta" } else { "full" },
+        );
+        push_point(&mut snap, &prefix, &p, wall_secs, wall);
+    }
+
+    // T7+ N-scaling, best configuration.
+    for n in [4usize, 16, 64, 256] {
+        let p = t7plus::measure(n, true, true);
+        let prefix = format!("t7plus.scaling.n{n}");
+        snap.push(
+            format!("{prefix}.work_per_event"),
+            p.work_per_event,
+            "ops/ev",
+            Direction::LowerIsBetter,
+            true,
+        );
+        snap.push(
+            format!("{prefix}.bytes_per_msg"),
+            p.bytes_per_msg,
+            "B/msg",
+            Direction::LowerIsBetter,
+            true,
+        );
+    }
+
+    // Sampler-instrumented simulated groups.
+    let causal = run_group(Discipline::Causal);
+    push_group(&mut snap, "group.causal", &causal, wall);
+    let token = run_group(Discipline::TotalToken);
+    push_group(&mut snap, "group.token", &token, wall);
+
+    // Chaos campaign cut (indexed + delta, the shipping configuration).
+    let start = std::time::Instant::now();
+    let mut delivered = 0u64;
+    let mut events = 0u64;
+    let mut violations = 0u64;
+    let mut hold = Histogram::new();
+    for seed in 0..CHAOS_SEEDS {
+        let r = chaos::run_seed(seed, true, true, BugKnobs::default());
+        delivered += r.delivered_total;
+        events += r.events_processed;
+        violations += r.violations.len() as u64;
+        hold.merge(&r.hold_hist);
+    }
+    let chaos_wall = start.elapsed().as_secs_f64();
+    snap.push(
+        "chaos.delivered",
+        delivered as f64,
+        "msgs",
+        Direction::HigherIsBetter,
+        true,
+    );
+    snap.push(
+        "chaos.events_processed",
+        events as f64,
+        "ev",
+        Direction::LowerIsBetter,
+        true,
+    );
+    snap.push(
+        "chaos.violations",
+        violations as f64,
+        "count",
+        Direction::LowerIsBetter,
+        true,
+    );
+    snap.push(
+        "chaos.hold_p50_ms",
+        hold.quantile(0.50).as_millis_f64(),
+        "ms",
+        Direction::LowerIsBetter,
+        true,
+    );
+    snap.push(
+        "chaos.hold_p99_ms",
+        hold.quantile(0.99).as_millis_f64(),
+        "ms",
+        Direction::LowerIsBetter,
+        true,
+    );
+    if wall {
+        snap.push(
+            "chaos.wall_secs",
+            chaos_wall,
+            "s",
+            Direction::LowerIsBetter,
+            false,
+        );
+    }
+
+    snap
+}
+
+/// Renders a snapshot as the human-facing table `experiments bench`
+/// prints.
+pub fn render(snap: &BenchSnapshot) -> Table {
+    let mut t = Table::new(
+        format!(
+            "BENCH — performance telemetry snapshot (schema {}, seed {})",
+            snap.schema, snap.seed
+        ),
+        &["metric", "value", "unit", "better", "deterministic"],
+    );
+    let mut ms: Vec<_> = snap.metrics.iter().collect();
+    ms.sort_by(|a, b| a.name.cmp(&b.name));
+    for m in ms {
+        t.row(vec![
+            m.name.clone().into(),
+            m.value.into(),
+            m.unit.clone().into(),
+            match m.dir {
+                Direction::LowerIsBetter => "lower",
+                Direction::HigherIsBetter => "higher",
+            }
+            .into(),
+            if m.det { "yes" } else { "no (wall)" }.into(),
+        ]);
+    }
+    t.note("deterministic metrics are exact under the seed and gated by");
+    t.note("`experiments benchdiff`; wall-clock rows (--wall) are host noise.");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry;
+
+    #[test]
+    fn snapshot_covers_every_workload() {
+        let s = collect(false);
+        for name in [
+            "t7plus.n64.scan.full.work_per_event",
+            "t7plus.n64.indexed.delta.bytes_per_msg",
+            "t7plus.scaling.n256.work_per_event",
+            "group.causal.deliveries_per_vsec",
+            "group.causal.hold_p99_ms",
+            "group.causal.ts.cbcast.holdback_peak",
+            "group.causal.ts.cbcast.stability_lag_peak",
+            "group.token.deliveries_per_vsec",
+            "group.token.ts.token.queued_peak",
+            "chaos.delivered",
+            "chaos.hold_p99_ms",
+        ] {
+            assert!(s.get(name).is_some(), "missing {name}");
+        }
+        // Everything multicast was delivered in the causal group.
+        let delivered = s.get("group.causal.delivered").unwrap().value;
+        assert_eq!(
+            delivered,
+            (GROUP_N as u32 * GROUP_MSGS * GROUP_N as u32) as f64
+        );
+        // No chaos violations in the shipping configuration.
+        assert_eq!(s.get("chaos.violations").unwrap().value, 0.0);
+        // The default snapshot is fully deterministic.
+        assert!(s.metrics.iter().all(|m| m.det));
+    }
+
+    #[test]
+    fn default_snapshot_is_byte_identical_across_reruns() {
+        let a = collect(false).to_json();
+        let b = collect(false).to_json();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wall_metrics_only_appear_on_request() {
+        let s = collect(false);
+        assert!(s.get("group.causal.wall_secs").is_none());
+        // (collect(true) is exercised by the CLI; avoiding a third full
+        // collection keeps this suite fast.)
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_self_diffs_clean() {
+        let s = collect(false);
+        let json = s.to_json();
+        let back = telemetry::BenchSnapshot::parse(&json).expect("parses");
+        assert_eq!(back.to_json(), json);
+        let report = telemetry::diff(&s, &back, telemetry::DEFAULT_GATE_PCT);
+        assert!(report.regressions.is_empty(), "{:?}", report.regressions);
+    }
+}

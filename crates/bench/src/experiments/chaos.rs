@@ -189,6 +189,8 @@ pub fn run(seeds: u64) -> (Table, u64) {
             "crashed at end",
             "delivered",
             "blocked",
+            "hold p50 ms",
+            "hold p99 ms",
             "violations",
             "replay stable",
         ],
@@ -203,6 +205,7 @@ pub fn run(seeds: u64) -> (Table, u64) {
         let mut blocked = 0u64;
         let mut violations = 0u64;
         let mut stable = true;
+        let mut hold_hist = simnet::metrics::Histogram::new();
         for seed in 0..seeds {
             let r = run_seed(seed, indexed, delta, BugKnobs::default());
             views += r.views_installed;
@@ -210,6 +213,7 @@ pub fn run(seeds: u64) -> (Table, u64) {
             crashed += r.plan.crashed_at_horizon().len() as u64;
             delivered += r.delivered_total;
             blocked += r.blocked as u64;
+            hold_hist.merge(&r.hold_hist);
             if !r.violations.is_empty() {
                 violations += r.violations.len() as u64;
                 eprintln!(
@@ -243,6 +247,8 @@ pub fn run(seeds: u64) -> (Table, u64) {
             crashed.into(),
             delivered.into(),
             blocked.into(),
+            hold_hist.quantile(0.50).as_millis_f64().into(),
+            hold_hist.quantile(0.99).as_millis_f64().into(),
             violations.into(),
             if stable { "yes" } else { "NO" }.into(),
         ]);
@@ -250,6 +256,7 @@ pub fn run(seeds: u64) -> (Table, u64) {
     }
     t.note("each run: seed-derived partitions/heals/crashes/recoveries/degrade episodes,");
     t.note("then every process log replayed through the vsync invariant checker;");
+    t.note("hold p50/p99: holdback wait of held deliveries, merged across the cell;");
     t.note("`experiments chaos --seed N` replays one schedule and prints the plan.");
     (t, total_violations)
 }

@@ -2,6 +2,7 @@
 //! experiment index and EXPERIMENTS.md for the paper-vs-measured record.
 
 pub mod ablate;
+pub mod bench;
 pub mod chaos;
 pub mod explain;
 pub mod f1;

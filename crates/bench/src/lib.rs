@@ -14,5 +14,6 @@
 
 pub mod experiments;
 pub mod table;
+pub mod telemetry;
 
 pub use table::Table;

@@ -1,0 +1,476 @@
+//! BENCH_*.json performance snapshots and the regression gate.
+//!
+//! `experiments bench` collects a fixed set of quantitative metrics from
+//! the hot-path and campaign workloads — throughput, bytes/msg, holdback
+//! work, hold-time quantiles, time-series peaks — into a schema-versioned
+//! [`BenchSnapshot`]. The encoding is hand-rolled (the offline serde
+//! stand-in has no serializer) and validated against [`simnet::json`]'s
+//! parser; metric names are emitted sorted, so a snapshot of the same
+//! seed is byte-identical across reruns.
+//!
+//! Metrics carry two axes of metadata the differ needs:
+//!
+//! - **direction** — whether lower or higher is better, so a delta can
+//!   be classified as regression or improvement;
+//! - **determinism** — virtual-time metrics (`det: true`) are exactly
+//!   reproducible and may be gated in CI; wall-clock metrics
+//!   (`det: false`) vary with the host and are informational only.
+//!
+//! `experiments benchdiff OLD.json NEW.json [--gate PCT]` prints the
+//! per-metric delta table and exits nonzero when any gated deterministic
+//! metric regresses past the threshold.
+
+use crate::table::Table;
+use simnet::json::{escape, JsonValue};
+
+/// Schema tag emitted in every snapshot; bump on incompatible change.
+pub const SCHEMA: &str = "catocs-bench/1";
+
+/// Which way a metric is supposed to move.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Smaller is better (latency, bytes, work).
+    LowerIsBetter,
+    /// Larger is better (throughput, deliveries).
+    HigherIsBetter,
+}
+
+impl Direction {
+    fn as_str(self) -> &'static str {
+        match self {
+            Direction::LowerIsBetter => "lower",
+            Direction::HigherIsBetter => "higher",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Direction> {
+        match s {
+            "lower" => Some(Direction::LowerIsBetter),
+            "higher" => Some(Direction::HigherIsBetter),
+            _ => None,
+        }
+    }
+}
+
+/// One measured metric.
+#[derive(Clone, Debug)]
+pub struct BenchMetric {
+    /// Dotted name, e.g. `t7plus.n64.indexed.delta.bytes_per_msg`.
+    pub name: String,
+    /// The measurement.
+    pub value: f64,
+    /// Unit label for reports (`B/msg`, `ev/vsec`, `ms`, …).
+    pub unit: String,
+    /// Which way improvement points.
+    pub dir: Direction,
+    /// Virtual-time deterministic (gateable) vs wall-clock informational.
+    pub det: bool,
+}
+
+/// A full performance snapshot.
+#[derive(Clone, Debug)]
+pub struct BenchSnapshot {
+    /// Schema tag ([`SCHEMA`]).
+    pub schema: String,
+    /// Seed the deterministic workloads ran under.
+    pub seed: u64,
+    /// The metrics, sorted by name.
+    pub metrics: Vec<BenchMetric>,
+}
+
+impl BenchSnapshot {
+    /// Creates an empty snapshot for `seed`.
+    pub fn new(seed: u64) -> Self {
+        BenchSnapshot {
+            schema: SCHEMA.to_string(),
+            seed,
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Adds a metric.
+    pub fn push(
+        &mut self,
+        name: impl Into<String>,
+        value: f64,
+        unit: impl Into<String>,
+        dir: Direction,
+        det: bool,
+    ) {
+        self.metrics.push(BenchMetric {
+            name: name.into(),
+            value,
+            unit: unit.into(),
+            dir,
+            det,
+        });
+    }
+
+    /// Looks a metric up by name.
+    pub fn get(&self, name: &str) -> Option<&BenchMetric> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+
+    /// Serializes to JSON: metrics sorted by name, one per line, so
+    /// same-seed reruns are byte-identical and diffs stay readable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two metrics share a name — a snapshot is a map.
+    pub fn to_json(&self) -> String {
+        let mut ms: Vec<&BenchMetric> = self.metrics.iter().collect();
+        ms.sort_by(|a, b| a.name.cmp(&b.name));
+        for w in ms.windows(2) {
+            assert!(w[0].name != w[1].name, "duplicate metric {}", w[0].name);
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\n  \"schema\": \"{}\",\n  \"seed\": {},\n  \"metrics\": [",
+            escape(&self.schema),
+            self.seed
+        ));
+        for (i, m) in ms.iter().enumerate() {
+            assert!(
+                m.value.is_finite(),
+                "metric {} is not finite: {}",
+                m.name,
+                m.value
+            );
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"name\": \"{}\", \"value\": {}, \"unit\": \"{}\", \
+                 \"dir\": \"{}\", \"det\": {}}}",
+                escape(&m.name),
+                fmt_f64(m.value),
+                escape(&m.unit),
+                m.dir.as_str(),
+                m.det
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        debug_assert!(JsonValue::parse(&out).is_some(), "emitted invalid JSON");
+        out
+    }
+
+    /// Parses a snapshot, validating the schema tag and every field.
+    pub fn parse(s: &str) -> Result<BenchSnapshot, String> {
+        let doc = JsonValue::parse(s).ok_or("malformed JSON")?;
+        let schema = doc
+            .get("schema")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing schema")?;
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema {schema:?} (want {SCHEMA:?})"));
+        }
+        let seed = doc
+            .get("seed")
+            .and_then(JsonValue::as_u64)
+            .ok_or("missing seed")?;
+        let mut snap = BenchSnapshot::new(seed);
+        for (i, m) in doc
+            .get("metrics")
+            .and_then(JsonValue::as_arr)
+            .ok_or("missing metrics array")?
+            .iter()
+            .enumerate()
+        {
+            let field = |k: &str| m.get(k).ok_or(format!("metric #{i}: missing {k}"));
+            let name = field("name")?.as_str().ok_or("name must be a string")?;
+            let value = field("value")?.as_f64().ok_or("value must be a number")?;
+            let unit = field("unit")?.as_str().ok_or("unit must be a string")?;
+            let dir = field("dir")?
+                .as_str()
+                .and_then(Direction::parse)
+                .ok_or(format!("metric {name}: dir must be lower|higher"))?;
+            let det = field("det")?.as_bool().ok_or("det must be a bool")?;
+            if snap.get(name).is_some() {
+                return Err(format!("duplicate metric {name}"));
+            }
+            snap.push(name, value, unit, dir, det);
+        }
+        Ok(snap)
+    }
+}
+
+/// Formats an f64 the way the snapshot stores it: integral values without
+/// a fraction, everything else via shortest-round-trip `Display` (which
+/// is deterministic for a given value).
+fn fmt_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// One row of a snapshot comparison.
+#[derive(Clone, Debug)]
+pub struct DiffRow {
+    /// Metric name.
+    pub name: String,
+    /// Baseline value (`None` if the metric is new).
+    pub old: Option<f64>,
+    /// Current value (`None` if the metric disappeared).
+    pub new: Option<f64>,
+    /// Signed percentage change, when both sides are present and the
+    /// baseline is nonzero.
+    pub delta_pct: Option<f64>,
+    /// Deterministic in both snapshots (only these can be gated).
+    pub det: bool,
+    /// Past the gate threshold in the *worse* direction.
+    pub regressed: bool,
+}
+
+/// The outcome of comparing two snapshots.
+#[derive(Clone, Debug)]
+pub struct DiffReport {
+    /// Per-metric rows, baseline order (sorted by name).
+    pub rows: Vec<DiffRow>,
+    /// Gate threshold applied, percent.
+    pub gate_pct: f64,
+    /// Names of gated metrics that regressed past the threshold.
+    pub regressions: Vec<String>,
+}
+
+/// Gate threshold used when `--gate` is given without a value.
+pub const DEFAULT_GATE_PCT: f64 = 10.0;
+
+/// Compares `new` against the `old` baseline. Only metrics deterministic
+/// in *both* snapshots are gated; wall-clock metrics always pass (they
+/// are host noise). A metric present on one side only is reported but
+/// never fails the gate — adding or retiring metrics is not a
+/// performance regression.
+pub fn diff(old: &BenchSnapshot, new: &BenchSnapshot, gate_pct: f64) -> DiffReport {
+    let mut names: Vec<&str> = old
+        .metrics
+        .iter()
+        .chain(new.metrics.iter())
+        .map(|m| m.name.as_str())
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+
+    let mut rows = Vec::new();
+    let mut regressions = Vec::new();
+    for name in names {
+        let o = old.get(name);
+        let n = new.get(name);
+        let (mut delta_pct, mut det, mut regressed) = (None, false, false);
+        if let (Some(o), Some(n)) = (o, n) {
+            det = o.det && n.det;
+            if o.value != 0.0 {
+                let pct = (n.value - o.value) / o.value.abs() * 100.0;
+                delta_pct = Some(pct);
+                let worse = match n.dir {
+                    Direction::LowerIsBetter => pct,
+                    Direction::HigherIsBetter => -pct,
+                };
+                regressed = det && worse > gate_pct;
+            } else if n.value != 0.0 {
+                // From zero: direction decides; any growth of a
+                // lower-is-better metric from a zero baseline is suspect.
+                regressed = det && n.dir == Direction::LowerIsBetter;
+            }
+        }
+        if regressed {
+            regressions.push(name.to_string());
+        }
+        rows.push(DiffRow {
+            name: name.to_string(),
+            old: o.map(|m| m.value),
+            new: n.map(|m| m.value),
+            delta_pct,
+            det,
+            regressed,
+        });
+    }
+    DiffReport {
+        rows,
+        gate_pct,
+        regressions,
+    }
+}
+
+/// Renders a diff report as a [`Table`].
+pub fn render_diff(report: &DiffReport, old_label: &str, new_label: &str) -> Table {
+    let mut t = Table::new(
+        format!(
+            "BENCHDIFF — {old_label} vs {new_label} (gate ±{}%)",
+            report.gate_pct
+        ),
+        &["metric", "old", "new", "delta", "gated", "verdict"],
+    );
+    for r in &report.rows {
+        let fmt_side = |v: Option<f64>| match v {
+            Some(v) => fmt_f64(v),
+            None => "—".to_string(),
+        };
+        let delta = match r.delta_pct {
+            Some(pct) => format!("{pct:+.2}%"),
+            None if r.old.is_none() => "new".to_string(),
+            None if r.new.is_none() => "gone".to_string(),
+            None => "n/a".to_string(),
+        };
+        let verdict = if r.regressed {
+            "REGRESSED"
+        } else if matches!(r.delta_pct, Some(p) if p != 0.0) {
+            "ok"
+        } else {
+            ""
+        };
+        t.row(vec![
+            r.name.clone().into(),
+            fmt_side(r.old).into(),
+            fmt_side(r.new).into(),
+            delta.into(),
+            if r.det { "yes" } else { "no" }.into(),
+            verdict.into(),
+        ]);
+    }
+    t.note("gated: deterministic (virtual-time) in both snapshots; wall-clock");
+    t.note("metrics are informational and never fail the gate. A metric only");
+    t.note("present on one side is reported but not gated.");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchSnapshot {
+        let mut s = BenchSnapshot::new(42);
+        s.push(
+            "b.throughput",
+            1000.0,
+            "ev/vsec",
+            Direction::HigherIsBetter,
+            true,
+        );
+        s.push("a.bytes", 24.5, "B/msg", Direction::LowerIsBetter, true);
+        s.push("c.wall", 0.123, "s", Direction::LowerIsBetter, false);
+        s
+    }
+
+    #[test]
+    fn json_roundtrips_through_parser() {
+        let s = sample();
+        let json = s.to_json();
+        let back = BenchSnapshot::parse(&json).expect("parses");
+        assert_eq!(back.seed, 42);
+        assert_eq!(back.metrics.len(), 3);
+        let a = back.get("a.bytes").unwrap();
+        assert_eq!(a.value, 24.5);
+        assert_eq!(a.unit, "B/msg");
+        assert_eq!(a.dir, Direction::LowerIsBetter);
+        assert!(a.det);
+        // Serialization is canonical: parse → re-emit is byte-identical.
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn emission_is_sorted_and_deterministic() {
+        let s = sample();
+        let a = s.to_json();
+        let b = sample().to_json();
+        assert_eq!(a, b);
+        let first = a.find("a.bytes").unwrap();
+        let second = a.find("b.throughput").unwrap();
+        assert!(first < second, "metrics must be name-sorted");
+    }
+
+    #[test]
+    fn parse_rejects_bad_documents() {
+        assert!(BenchSnapshot::parse("{").is_err());
+        assert!(BenchSnapshot::parse("{}").is_err());
+        assert!(BenchSnapshot::parse(r#"{"schema":"other/9","seed":1,"metrics":[]}"#).is_err());
+        let dup = r#"{"schema":"catocs-bench/1","seed":1,"metrics":[
+            {"name":"x","value":1,"unit":"","dir":"lower","det":true},
+            {"name":"x","value":2,"unit":"","dir":"lower","det":true}]}"#;
+        assert!(BenchSnapshot::parse(dup).is_err());
+        let baddir = r#"{"schema":"catocs-bench/1","seed":1,"metrics":[
+            {"name":"x","value":1,"unit":"","dir":"sideways","det":true}]}"#;
+        assert!(BenchSnapshot::parse(baddir).is_err());
+    }
+
+    #[test]
+    fn self_diff_is_clean() {
+        let s = sample();
+        let report = diff(&s, &s, DEFAULT_GATE_PCT);
+        assert!(report.regressions.is_empty(), "{:?}", report.regressions);
+        assert!(report.rows.iter().all(|r| r.delta_pct == Some(0.0)));
+    }
+
+    #[test]
+    fn injected_regression_is_flagged_and_direction_aware() {
+        let old = sample();
+        let mut worse = sample();
+        // lower-is-better grows 50% → regression.
+        worse.metrics[1].value *= 1.5;
+        let report = diff(&old, &worse, 10.0);
+        assert_eq!(report.regressions, vec!["a.bytes".to_string()]);
+
+        // higher-is-better grows 50% → improvement, not regression.
+        let mut better = sample();
+        better.metrics[0].value *= 1.5;
+        let report = diff(&old, &better, 10.0);
+        assert!(report.regressions.is_empty(), "{:?}", report.regressions);
+
+        // higher-is-better drops 50% → regression.
+        let mut slower = sample();
+        slower.metrics[0].value *= 0.5;
+        let report = diff(&old, &slower, 10.0);
+        assert_eq!(report.regressions, vec!["b.throughput".to_string()]);
+    }
+
+    #[test]
+    fn wall_metrics_are_never_gated() {
+        let old = sample();
+        let mut worse = sample();
+        worse.metrics[2].value *= 100.0; // c.wall, det: false
+        let report = diff(&old, &worse, 10.0);
+        assert!(report.regressions.is_empty(), "{:?}", report.regressions);
+        // ...but the delta is still reported.
+        let row = report.rows.iter().find(|r| r.name == "c.wall").unwrap();
+        assert!(row.delta_pct.unwrap() > 1000.0);
+    }
+
+    #[test]
+    fn added_and_removed_metrics_do_not_gate() {
+        let old = sample();
+        let mut new = sample();
+        new.metrics.remove(0);
+        new.push("d.fresh", 5.0, "x", Direction::LowerIsBetter, true);
+        let report = diff(&old, &new, 10.0);
+        assert!(report.regressions.is_empty());
+        let gone = report
+            .rows
+            .iter()
+            .find(|r| r.name == "b.throughput")
+            .unwrap();
+        assert!(gone.new.is_none() && !gone.regressed);
+        let fresh = report.rows.iter().find(|r| r.name == "d.fresh").unwrap();
+        assert!(fresh.old.is_none() && !fresh.regressed);
+    }
+
+    #[test]
+    fn small_wobble_passes_the_gate() {
+        let old = sample();
+        let mut new = sample();
+        new.metrics[1].value *= 1.05; // +5% under a 10% gate
+        let report = diff(&old, &new, 10.0);
+        assert!(report.regressions.is_empty());
+    }
+
+    #[test]
+    fn render_diff_mentions_regressions() {
+        let old = sample();
+        let mut worse = sample();
+        worse.metrics[1].value *= 2.0;
+        let report = diff(&old, &worse, 10.0);
+        let table = render_diff(&report, "OLD", "NEW").to_string();
+        assert!(table.contains("REGRESSED"), "{table}");
+        assert!(table.contains("a.bytes"), "{table}");
+    }
+}

@@ -104,6 +104,13 @@ impl<P: Clone> AbcastEndpoint<P> {
         self.unreleased.len()
     }
 
+    /// Telemetry hook: the causal substrate's gauges plus the order-release
+    /// backlog specific to the sequencer design.
+    pub fn sample(&self, emit: &mut dyn FnMut(&str, f64)) {
+        self.cb.sample(emit);
+        emit("abcast.unreleased", self.unreleased.len() as f64);
+    }
+
     /// Multicasts `payload`. Unlike cbcast there is no immediate
     /// self-delivery: the message is released when its global order slot
     /// comes up (immediately only at the sequencer).

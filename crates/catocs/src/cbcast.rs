@@ -330,6 +330,29 @@ impl<P: Clone> CbcastEndpoint<P> {
         self.stability.stable_frontier()
     }
 
+    /// How far this endpoint's delivered clock runs ahead of the
+    /// group-wide stable frontier, in messages — the §5 stability-horizon
+    /// lag. Every unit of lag is a message that must stay buffered for
+    /// possible retransmission.
+    pub fn stability_lag(&self) -> u64 {
+        self.vt
+            .total_events()
+            .saturating_sub(self.stability.stable_frontier().total_events())
+    }
+
+    /// Telemetry hook: instantaneous queue depths and buffering gauges,
+    /// named for the time-series sampler (`simnet::process::Process::sample`).
+    pub fn sample(&self, emit: &mut dyn FnMut(&str, f64)) {
+        emit("cbcast.holdback", self.holdback.len() as f64);
+        emit("cbcast.parked", self.parked_len() as f64);
+        emit("cbcast.buffered", self.buffer.len() as f64);
+        emit(
+            "cbcast.buffered_bytes",
+            self.stats.buffered_bytes_now as f64,
+        );
+        emit("cbcast.stability_lag", self.stability_lag() as f64);
+    }
+
     /// Walks the holdback wait-graph and reports, for every blocked
     /// message, each undelivered causal predecessor and why it is absent
     /// (held here too, parked, chased via NACK, or never deliverable).

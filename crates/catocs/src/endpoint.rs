@@ -160,6 +160,18 @@ impl<P: Clone> Endpoint<P> {
         }
     }
 
+    /// Telemetry hook: forwards to the discipline-specific gauge emitter.
+    /// Metric names are prefixed per discipline (`cbcast.*`, `fbcast.*`,
+    /// `abcast.*`, `token.*`) so a mixed-discipline run keeps them apart.
+    pub fn sample(&self, emit: &mut dyn FnMut(&str, f64)) {
+        match self {
+            Endpoint::Fifo(e) => e.sample(emit),
+            Endpoint::Causal(e) => e.sample(emit),
+            Endpoint::Total(e) => e.sample(emit),
+            Endpoint::TotalToken(e) => e.sample(emit),
+        }
+    }
+
     /// Messages currently buffered for retransmission (unstable).
     pub fn buffered_len(&self) -> usize {
         match self {
@@ -225,6 +237,35 @@ mod tests {
         );
         let (dels, _) = ep.multicast(SimTime::ZERO, 7);
         assert!(dels.is_empty());
+    }
+
+    #[test]
+    fn sample_emits_discipline_prefixed_gauges() {
+        let cfg = GroupConfig::default();
+        for (d, prefix) in [
+            (Discipline::Fifo, "fbcast."),
+            (Discipline::Causal, "cbcast."),
+            (Discipline::Total { sequencer: 0 }, "cbcast."),
+            (Discipline::TotalToken, "token."),
+        ] {
+            let ep: Endpoint<u32> = Endpoint::new(d, 1, 3, cfg.clone());
+            let mut names = Vec::new();
+            ep.sample(&mut |name, value| {
+                assert!(value.is_finite());
+                names.push(name.to_string());
+            });
+            assert!(
+                names.iter().any(|n| n.starts_with(prefix)),
+                "{:?} emitted {:?}",
+                d,
+                names
+            );
+        }
+        // The sequencer design samples both layers.
+        let ep: Endpoint<u32> = Endpoint::new(Discipline::Total { sequencer: 0 }, 1, 3, cfg);
+        let mut names = Vec::new();
+        ep.sample(&mut |name, _| names.push(name.to_string()));
+        assert!(names.iter().any(|n| n == "abcast.unreleased"));
     }
 
     #[test]

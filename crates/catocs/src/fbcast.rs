@@ -84,6 +84,15 @@ impl<P: Clone> FbcastEndpoint<P> {
         self.sent_buffer.len()
     }
 
+    /// Telemetry hook: instantaneous gauges for the time-series sampler.
+    pub fn sample(&self, emit: &mut dyn FnMut(&str, f64)) {
+        emit("fbcast.buffered", self.sent_buffer.len() as f64);
+        emit(
+            "fbcast.pending",
+            self.streams.iter().map(|s| s.pending.len()).sum::<usize>() as f64,
+        );
+    }
+
     /// The per-sender delivered watermark, as a vector clock for
     /// compatibility with the stability machinery.
     pub fn delivered_clock(&self) -> VectorClock {

@@ -272,6 +272,10 @@ impl<P: Clone + std::fmt::Debug + 'static, A: GroupApp<P>> Process<Wire<P>> for 
             _ => {}
         }
     }
+
+    fn sample(&self, emit: &mut dyn FnMut(&str, f64)) {
+        self.endpoint.sample(emit);
+    }
 }
 
 /// Builds a full group of [`GroupNode`]s in a fresh set of processes and

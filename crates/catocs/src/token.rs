@@ -104,6 +104,16 @@ impl<P: Clone> TokenAbcastEndpoint<P> {
         self.pending_submit.len()
     }
 
+    /// Telemetry hook: instantaneous gauges for the time-series sampler.
+    pub fn sample(&self, emit: &mut dyn FnMut(&str, f64)) {
+        emit("token.queued", self.pending_submit.len() as f64);
+        emit(
+            "token.undelivered",
+            self.by_gseq.range(self.next_deliver..).count() as f64,
+        );
+        emit("token.sent_buffer", self.sent.len() as f64);
+    }
+
     /// Submits `payload` for totally ordered multicast. If the token is
     /// held, the message goes out (and may deliver) immediately;
     /// otherwise it queues until the token arrives.

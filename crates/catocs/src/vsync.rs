@@ -41,6 +41,7 @@ use crate::membership::{FlushAction, MembershipEngine};
 use crate::wire::{Dest, Out, Wire};
 use clocks::vector::VectorClock;
 use simnet::fault::{FaultPlan, FaultPlanConfig};
+use simnet::metrics::Histogram;
 use simnet::net::NetConfig;
 use simnet::obs::ProbeHandle;
 use simnet::process::{Ctx, Process, ProcessId, TimerId};
@@ -506,6 +507,13 @@ pub struct CampaignResult {
     /// with messages still blocked in holdback, what each waits on and
     /// why. Feeds the `experiments explain` CLI.
     pub blocked_reports: Vec<(usize, Vec<BlockedReport>)>,
+    /// Hold-time distribution merged across every node: how long each
+    /// remotely-delivered message sat in holdback before release.
+    /// Informational — not folded into [`Self::digest`], so it can grow
+    /// without invalidating recorded replay digests.
+    pub hold_hist: Histogram,
+    /// Scheduler events processed by the run (deterministic work proxy).
+    pub events_processed: u64,
 }
 
 const TICK: TimerId = TimerId(0);
@@ -536,6 +544,8 @@ pub struct ChaosNode {
     // and get ignored.
     armed_tick: SimTime,
     armed_app: SimTime,
+    /// Hold times of held deliveries at this node (µs histogram).
+    hold_hist: Histogram,
 }
 
 impl ChaosNode {
@@ -576,6 +586,7 @@ impl ChaosNode {
             events: Vec::new(),
             armed_tick: SimTime::ZERO,
             armed_app: SimTime::ZERO,
+            hold_hist: Histogram::new(),
         }
     }
 
@@ -587,6 +598,12 @@ impl ChaosNode {
     /// The membership engine (read post-run).
     pub fn engine(&self) -> &MembershipEngine {
         &self.engine
+    }
+
+    /// Hold-time distribution of this node's held deliveries (read
+    /// post-run; campaigns merge these across the group).
+    pub fn hold_histogram(&self) -> &Histogram {
+        &self.hold_hist
     }
 
     fn route(&self, ctx: &mut Ctx<'_, Wire<u64>>, out: Vec<Out<u64>>) {
@@ -606,6 +623,9 @@ impl ChaosNode {
 
     fn log_deliveries(&mut self, dels: Vec<crate::wire::Delivery<u64>>) {
         for d in dels {
+            if d.was_held() {
+                self.hold_hist.record(d.hold_time());
+            }
             self.events.push(NodeEvent::Deliver { id: d.id });
         }
     }
@@ -731,6 +751,10 @@ impl Process<Wire<u64>> for ChaosNode {
         self.armed_app = ctx.now() + self.app_every;
         ctx.set_timer(APP, self.app_every);
     }
+
+    fn sample(&self, emit: &mut dyn FnMut(&str, f64)) {
+        self.endpoint.sample(emit);
+    }
 }
 
 fn fnv1a(digest: &mut u64, bytes: &[u8]) {
@@ -792,13 +816,15 @@ pub fn run_campaign_with(seed: u64, cfg: &CampaignConfig, probe: ProbeHandle) ->
         sim.add_process(ChaosNode::with_probe(me, cfg, probe.clone()));
     }
     plan.apply(&mut sim);
-    sim.run_until(cfg.plan.horizon);
+    let events_processed = sim.run_until(cfg.plan.horizon);
 
     let crashed = plan.crashed_at_horizon();
     let mut logs = Vec::with_capacity(cfg.n);
     let mut blocked_reports = Vec::new();
+    let mut hold_hist = Histogram::new();
     for p in 0..cfg.n {
         let node: &ChaosNode = sim.process(ProcessId(p)).expect("chaos node present");
+        hold_hist.merge(node.hold_histogram());
         // Wait-graphs are only meaningful for processes that were up at
         // the horizon: a crashed node's stale holdback is not "blocked".
         if !crashed.contains(&p) {
@@ -875,6 +901,8 @@ pub fn run_campaign_with(seed: u64, cfg: &CampaignConfig, probe: ProbeHandle) ->
         blocked,
         digest,
         blocked_reports,
+        hold_hist,
+        events_processed,
     }
 }
 

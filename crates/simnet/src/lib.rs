@@ -65,6 +65,7 @@ pub mod trace;
 pub mod prelude {
     pub use crate::{
         fault::{FaultKind, FaultPlan, FaultPlanConfig},
+        metrics::{Histogram, Metrics, TimeSeries},
         net::{LatencyModel, NetConfig},
         obs::{FlightRecorder, ObsEvent, Probe, ProbeHandle, SpanId},
         process::{Ctx, Process, ProcessId, TimerId},

@@ -1,18 +1,21 @@
-//! Lightweight metrics: named counters, gauges and latency histograms.
+//! Lightweight metrics: named counters, gauges, latency histograms and
+//! ring-buffered time series.
 //!
 //! The experiment harness reads these after a run to produce the tables in
-//! EXPERIMENTS.md. Everything is plain in-memory state — no atomics are
-//! needed because the simulator is single-threaded.
+//! EXPERIMENTS.md and the `BENCH_*.json` telemetry snapshots. Everything
+//! is plain in-memory state — no atomics are needed because the simulator
+//! is single-threaded.
 
-use crate::time::SimDuration;
+use crate::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 /// A fixed-bucket log-scale histogram of durations (microseconds).
 ///
 /// Buckets are powers of two from 1us up to ~2^40us, which comfortably
 /// spans sub-microsecond protocol steps to multi-hour waits.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
@@ -22,6 +25,15 @@ pub struct Histogram {
 }
 
 const HISTOGRAM_BUCKETS: usize = 41;
+
+impl Default for Histogram {
+    /// An empty histogram with its buckets allocated — identical to
+    /// [`Histogram::new`], so `record` never has to lazily re-create
+    /// the bucket vector.
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
 
 impl Histogram {
     /// Creates an empty histogram.
@@ -39,9 +51,6 @@ impl Histogram {
     pub fn record(&mut self, d: SimDuration) {
         let us = d.as_micros();
         let idx = (64 - us.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
-        if self.buckets.is_empty() {
-            self.buckets = vec![0; HISTOGRAM_BUCKETS];
-        }
         self.buckets[idx] += 1;
         self.count += 1;
         self.sum_us += us as u128;
@@ -49,9 +58,27 @@ impl Histogram {
         self.max_us = self.max_us.max(us);
     }
 
+    /// Folds another histogram's observations into this one. The merged
+    /// count, sum, min and max are exactly what recording both streams
+    /// into one histogram would have produced.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.min_us = self.min_us.min(other.min_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
     /// Number of observations.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Sum of all observations, microseconds.
+    pub fn sum_micros(&self) -> u128 {
+        self.sum_us
     }
 
     /// Mean observation, or zero if empty.
@@ -77,21 +104,114 @@ impl Histogram {
         SimDuration::from_micros(self.max_us)
     }
 
-    /// Approximate quantile (bucket upper bound), `q` in `[0,1]`.
+    /// The value range a bucket index covers, inclusive on both ends.
+    fn bucket_range(i: usize) -> (u64, u64) {
+        if i == 0 {
+            (0, 0)
+        } else {
+            (1u64 << (i - 1), (1u64 << i) - 1)
+        }
+    }
+
+    /// Approximate quantile, `q` in `[0,1]`, with linear interpolation
+    /// within the target bucket. On dense data this lands between the
+    /// bucket bounds in proportion to the target rank instead of
+    /// snapping to the power-of-two upper bound; the result is always
+    /// clamped into `[min, max]`.
     pub fn quantile(&self, q: f64) -> SimDuration {
         if self.count == 0 {
             return SimDuration::ZERO;
         }
-        let target = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
-        let mut seen = 0;
+        let target = (((self.count as f64) * q.clamp(0.0, 1.0)).ceil() as u64).max(1);
+        let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= target.max(1) {
-                let upper = if i == 0 { 1 } else { 1u64 << i };
-                return SimDuration::from_micros(upper.min(self.max_us.max(1)));
+            if c == 0 {
+                continue;
             }
+            if seen + c >= target {
+                let (lo, hi) = Self::bucket_range(i);
+                // Rank within this bucket, in (0, 1]: interpolate
+                // linearly across the bucket's value range.
+                let frac = (target - seen) as f64 / c as f64;
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                let est = est.round() as u64;
+                return SimDuration::from_micros(est.clamp(self.min_us, self.max_us));
+            }
+            seen += c;
         }
         self.max()
+    }
+}
+
+/// A bounded time series: `(virtual time, value)` samples in a ring
+/// buffer. When full, the oldest sample is evicted, so the series always
+/// holds the most recent `capacity` samples.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TimeSeries {
+    samples: VecDeque<(SimTime, f64)>,
+    capacity: usize,
+    pushed: u64,
+}
+
+/// Default ring capacity for series created through [`Metrics::sample`].
+pub const DEFAULT_SERIES_CAPACITY: usize = 512;
+
+impl TimeSeries {
+    /// Creates an empty series retaining at most `capacity` samples.
+    pub fn new(capacity: usize) -> Self {
+        TimeSeries {
+            samples: VecDeque::with_capacity(capacity.min(1024)),
+            capacity: capacity.max(1),
+            pushed: 0,
+        }
+    }
+
+    /// Appends a sample, evicting the oldest if the ring is full.
+    pub fn push(&mut self, at: SimTime, value: f64) {
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+        }
+        self.samples.push_back((at, value));
+        self.pushed += 1;
+    }
+
+    /// Samples currently retained, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.samples.iter().copied()
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total samples ever pushed (≥ `len()`; the difference is evictions).
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// The most recent sample.
+    pub fn last(&self) -> Option<(SimTime, f64)> {
+        self.samples.back().copied()
+    }
+
+    /// Largest retained value, or zero if empty.
+    pub fn max_value(&self) -> f64 {
+        self.samples.iter().map(|&(_, v)| v).fold(0.0, f64::max)
+    }
+
+    /// Mean of the retained values, or zero if empty.
+    pub fn mean_value(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().map(|&(_, v)| v).sum::<f64>() / self.samples.len() as f64
+        }
     }
 }
 
@@ -101,6 +221,7 @@ pub struct Metrics {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
+    series: BTreeMap<String, TimeSeries>,
 }
 
 impl Metrics {
@@ -150,6 +271,20 @@ impl Metrics {
         self.histograms.get(name)
     }
 
+    /// Appends a sample to the named time series (created on first use
+    /// with [`DEFAULT_SERIES_CAPACITY`]).
+    pub fn sample(&mut self, name: &str, at: SimTime, value: f64) {
+        self.series
+            .entry(name.to_string())
+            .or_insert_with(|| TimeSeries::new(DEFAULT_SERIES_CAPACITY))
+            .push(at, value);
+    }
+
+    /// Reads a time series, if it exists.
+    pub fn series_get(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+
     /// All counters, for reports.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))
@@ -164,6 +299,11 @@ impl Metrics {
     /// [`Metrics::counters`] / [`Metrics::gauges`].
     pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
         self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// All time series, in name order.
+    pub fn series(&self) -> impl Iterator<Item = (&str, &TimeSeries)> {
+        self.series.iter().map(|(k, v)| (k.as_str(), v))
     }
 }
 
@@ -205,6 +345,16 @@ mod tests {
     }
 
     #[test]
+    fn default_histogram_records_without_reinit() {
+        // `Default` must allocate the bucket vector up front; recording
+        // through a defaulted histogram is the regression this pins.
+        let mut h = Histogram::default();
+        h.record(SimDuration::from_micros(7));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), SimDuration::from_micros(7));
+    }
+
+    #[test]
     fn histogram_quantiles_monotone() {
         let mut h = Histogram::new();
         for i in 1..=1000u64 {
@@ -214,6 +364,61 @@ mod tests {
         let p99 = h.quantile(0.99);
         assert!(p50 <= p99);
         assert!(p99 <= h.max());
+        assert!(p50 >= h.min());
+    }
+
+    #[test]
+    fn quantile_interpolates_within_bucket() {
+        // 1000 uniform values in [1, 1000]us: rank 500 falls in the
+        // [256, 511] bucket, where a pure upper-bound quantile would
+        // report 512. Linear interpolation recovers ~500 — the true
+        // median of the dense uniform data.
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(SimDuration::from_micros(i));
+        }
+        let p50 = h.quantile(0.5).as_micros();
+        assert!(
+            (450..=550).contains(&p50),
+            "p50 {p50} should interpolate to ~500, not snap to a power of two"
+        );
+    }
+
+    #[test]
+    fn merge_matches_recording_both_streams() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for us in [3u64, 70, 900] {
+            a.record(SimDuration::from_micros(us));
+            both.record(SimDuration::from_micros(us));
+        }
+        for us in [1u64, 40_000] {
+            b.record(SimDuration::from_micros(us));
+            both.record(SimDuration::from_micros(us));
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.sum_micros(), both.sum_micros());
+        assert_eq!(a.min(), both.min());
+        assert_eq!(a.max(), both.max());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), both.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::new();
+        a.record(SimDuration::from_micros(10));
+        let before = (a.count(), a.min(), a.max(), a.sum_micros());
+        a.merge(&Histogram::new());
+        assert_eq!(before, (a.count(), a.min(), a.max(), a.sum_micros()));
+        // Empty absorbing non-empty adopts its stats.
+        let mut e = Histogram::new();
+        e.merge(&a);
+        assert_eq!(e.count(), 1);
+        assert_eq!(e.min(), SimDuration::from_micros(10));
     }
 
     #[test]
@@ -246,5 +451,77 @@ mod tests {
             got,
             vec![("a.lat".to_string(), 2), ("b.lat".to_string(), 1)]
         );
+    }
+
+    #[test]
+    fn time_series_rings() {
+        let mut s = TimeSeries::new(3);
+        for i in 0..5u64 {
+            s.push(SimTime::from_millis(i), i as f64);
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.total_pushed(), 5);
+        let kept: Vec<f64> = s.iter().map(|(_, v)| v).collect();
+        assert_eq!(kept, vec![2.0, 3.0, 4.0]);
+        assert_eq!(s.last(), Some((SimTime::from_millis(4), 4.0)));
+        assert_eq!(s.max_value(), 4.0);
+        assert_eq!(s.mean_value(), 3.0);
+    }
+
+    #[test]
+    fn metrics_sample_creates_and_appends() {
+        let mut m = Metrics::new();
+        m.sample("q.depth", SimTime::from_millis(1), 2.0);
+        m.sample("q.depth", SimTime::from_millis(2), 5.0);
+        let s = m.series_get("q.depth").unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.max_value(), 5.0);
+        assert!(m.series_get("missing").is_none());
+        let names: Vec<&str> = m.series().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["q.depth"]);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn hist(values: &[u64]) -> Histogram {
+            let mut h = Histogram::new();
+            for &us in values {
+                h.record(SimDuration::from_micros(us));
+            }
+            h
+        }
+
+        proptest! {
+            /// `merge` must be indistinguishable from having recorded
+            /// both streams into one histogram: count/sum/min/max agree
+            /// exactly and quantiles stay monotone in `q`.
+            #[test]
+            fn merge_preserves_aggregates_and_monotonicity(
+                xs in proptest::collection::vec(0u64..2_000_000, 0..64),
+                ys in proptest::collection::vec(0u64..2_000_000, 0..64),
+            ) {
+                let mut merged = hist(&xs);
+                merged.merge(&hist(&ys));
+                let mut all = xs.clone();
+                all.extend_from_slice(&ys);
+                let direct = hist(&all);
+                prop_assert_eq!(merged.count(), direct.count());
+                prop_assert_eq!(merged.sum_micros(), direct.sum_micros());
+                prop_assert_eq!(merged.min(), direct.min());
+                prop_assert_eq!(merged.max(), direct.max());
+                let mut prev = SimDuration::ZERO;
+                for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+                    let v = merged.quantile(q);
+                    prop_assert!(v >= prev, "quantile({}) = {:?} < {:?}", q, v, prev);
+                    prev = v;
+                }
+                if merged.count() > 0 {
+                    prop_assert!(merged.quantile(0.0) >= merged.min());
+                    prop_assert!(merged.quantile(1.0) <= merged.max());
+                }
+            }
+        }
     }
 }

@@ -178,6 +178,17 @@ pub trait Process<M> {
     fn on_recover(&mut self, ctx: &mut Ctx<'_, M>) {
         let _ = ctx;
     }
+
+    /// Telemetry hook: report instantaneous gauges (queue depths,
+    /// holdback sizes, buffered bytes, …) by name. The simulator calls
+    /// this on every live process at the sampling cadence configured via
+    /// `SimBuilder::sample_every` and folds the values into per-name
+    /// time series in [`Metrics`](crate::metrics::Metrics). Read-only
+    /// with respect to the simulation: no RNG, no sends, no timers — a
+    /// sampled run replays byte-identically to an unsampled one.
+    fn sample(&self, emit: &mut dyn FnMut(&str, f64)) {
+        let _ = emit;
+    }
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@ use crate::event::{EventKind, EventQueue};
 use crate::metrics::Metrics;
 use crate::net::{NetConfig, NetState};
 use crate::process::{Ctx, Process, ProcessId, TimerId};
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceEvent};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -28,6 +28,7 @@ pub struct SimBuilder {
     seed: u64,
     net: NetConfig,
     trace: bool,
+    sample_every: Option<SimDuration>,
 }
 
 impl SimBuilder {
@@ -37,6 +38,7 @@ impl SimBuilder {
             seed,
             net: NetConfig::default(),
             trace: false,
+            sample_every: None,
         }
     }
 
@@ -49,6 +51,18 @@ impl SimBuilder {
     /// Enables event-trace recording.
     pub fn trace(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Enables time-series sampling: every `cadence` of virtual time,
+    /// every live process's [`Process::sample`] gauges are folded into
+    /// `ts.<name>.sum` / `ts.<name>.max` series in the run's metrics
+    /// (plus a built-in `ts.sim.queue` series for event-queue depth).
+    /// Sampling touches no RNG and schedules no events, so a sampled run
+    /// replays byte-identically to an unsampled one.
+    pub fn sample_every(mut self, cadence: SimDuration) -> Self {
+        assert!(cadence > SimDuration::ZERO, "sampling cadence must be > 0");
+        self.sample_every = Some(cadence);
         self
     }
 
@@ -69,6 +83,8 @@ impl SimBuilder {
             trace,
             metrics: Metrics::new(),
             stop: false,
+            sample_every: self.sample_every,
+            next_sample: self.sample_every.map(|c| SimTime::ZERO + c),
         }
     }
 }
@@ -85,6 +101,8 @@ pub struct Sim<M> {
     trace: Trace,
     metrics: Metrics,
     stop: bool,
+    sample_every: Option<SimDuration>,
+    next_sample: Option<SimTime>,
 }
 
 /// Object-safe union of `Process<M>` and `Any`, enabling typed access to a
@@ -220,6 +238,8 @@ impl<M: Debug + Clone + 'static> Sim<M> {
             if t > deadline || self.stop {
                 break;
             }
+            // Fire any sample points due strictly before the next event.
+            self.sample_until(t.min(deadline));
             let Some(ev) = self.queue.pop() else {
                 break;
             };
@@ -227,10 +247,52 @@ impl<M: Debug + Clone + 'static> Sim<M> {
             self.dispatch(ev.kind);
             processed += 1;
         }
+        if !self.stop {
+            self.sample_until(deadline);
+        }
         if self.now < deadline && !self.stop {
             self.now = deadline;
         }
         processed
+    }
+
+    /// Takes every pending sample at or before `upto`, advancing the
+    /// virtual clock to each sample point in turn.
+    fn sample_until(&mut self, upto: SimTime) {
+        let Some(cadence) = self.sample_every else {
+            return;
+        };
+        while let Some(at) = self.next_sample {
+            if at > upto {
+                break;
+            }
+            self.now = self.now.max(at);
+            self.take_samples(at);
+            self.next_sample = Some(at + cadence);
+        }
+    }
+
+    /// One sampling pass: fold every live process's gauges into
+    /// per-name sum/max series, plus the built-in event-queue depth.
+    fn take_samples(&mut self, at: SimTime) {
+        use std::collections::BTreeMap;
+        let mut agg: BTreeMap<String, (f64, f64)> = BTreeMap::new();
+        for (i, p) in self.procs.iter().enumerate() {
+            if !self.alive[i] {
+                continue;
+            }
+            p.sample(&mut |name: &str, v: f64| {
+                let e = agg.entry(name.to_string()).or_insert((0.0, f64::MIN));
+                e.0 += v;
+                e.1 = e.1.max(v);
+            });
+        }
+        for (name, (sum, max)) in agg {
+            self.metrics.sample(&format!("ts.{name}.sum"), at, sum);
+            self.metrics.sample(&format!("ts.{name}.max"), at, max);
+        }
+        self.metrics
+            .sample("ts.sim.queue", at, self.queue.len() as f64);
     }
 
     /// Runs until no events remain (or `max` is reached as a safety net).
@@ -359,6 +421,7 @@ impl<M: Debug + Clone + 'static> Sim<M> {
             metrics,
             stop,
             alive,
+            ..
         } = self;
         let n_processes = procs.len();
         let mut ctx = Ctx {
@@ -652,6 +715,62 @@ mod tests {
         let mut sim = SimBuilder::new(1).build::<Msg>();
         sim.run_until(SimTime::from_secs(3));
         assert_eq!(sim.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn sampler_records_series_at_cadence() {
+        struct Depth {
+            d: usize,
+        }
+        impl Process<Msg> for Depth {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                ctx.set_timer(TimerId(0), SimDuration::from_millis(100));
+            }
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_, Msg>, _t: TimerId) {
+                self.d += 10;
+            }
+            fn sample(&self, emit: &mut dyn FnMut(&str, f64)) {
+                emit("depth", self.d as f64);
+            }
+        }
+        let mut sim = SimBuilder::new(1)
+            .sample_every(SimDuration::from_millis(50))
+            .build::<Msg>();
+        sim.add_process(Depth { d: 1 });
+        sim.add_process(Depth { d: 3 });
+        sim.run_until(SimTime::from_millis(250));
+        // Sample points: 50, 100, 150, 200, 250ms = 5 samples.
+        let sum = sim
+            .metrics()
+            .series_get("ts.depth.sum")
+            .expect("sum series");
+        let max = sim
+            .metrics()
+            .series_get("ts.depth.max")
+            .expect("max series");
+        assert_eq!(sum.len(), 5);
+        assert_eq!(max.len(), 5);
+        // Before the 100ms timer: 1 + 3; after: 11 + 13.
+        let vals: Vec<f64> = sum.iter().map(|(_, v)| v).collect();
+        assert_eq!(vals, vec![4.0, 4.0, 24.0, 24.0, 24.0]);
+        assert_eq!(max.last().unwrap().1, 13.0);
+        assert!(sim.metrics().series_get("ts.sim.queue").is_some());
+    }
+
+    #[test]
+    fn sampling_does_not_perturb_replay() {
+        let digest = |sampled: bool| {
+            let mut b = SimBuilder::new(42).net(NetConfig::lossy_lan(0.1)).trace();
+            if sampled {
+                b = b.sample_every(SimDuration::from_millis(10));
+            }
+            let mut sim = b.build::<Msg>();
+            sim.add_process(Pinger::default());
+            sim.add_process(Pinger::default());
+            sim.run_until(SimTime::from_secs(1));
+            sim.trace().digest()
+        };
+        assert_eq!(digest(false), digest(true));
     }
 
     #[test]
