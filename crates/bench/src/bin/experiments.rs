@@ -5,6 +5,7 @@
 //! experiments f1 f4 t5               # selected experiments
 //! experiments list                   # what exists
 //! experiments chaos --seed 23 --bug no-detector-reset
+//! experiments chaos --discipline pccast
 //! experiments explain --seed 2 --bug no-flush-retry [--msg m0.3]
 //! experiments t7plus --perfetto out.json
 //! experiments bench --json BENCH_new.json [--wall]
@@ -17,11 +18,12 @@ fn print_usage() {
     eprintln!(
         "usage: experiments [--perfetto FILE] \
          [all|list|f1|f2|f3|f4|t5|t6|t7|t7plus|t8|t9|t10|t11|t12|t13|t14|t15|t16|ablate\
-         |chaos [--seed N] [--bug KNOB]\
+         |chaos [--seed N] [--bug KNOB] [--discipline cbcast|pccast]\
          |explain --seed N [--msg mS.Q] [--bug KNOB]\
          |bench [--json FILE] [--wall]\
          |benchdiff OLD.json NEW.json [--gate PCT]]...\n\
-         KNOB: no-detector-reset | no-flush-retry | no-chain-reset"
+         KNOB: no-detector-reset | no-flush-retry | no-chain-reset\n\
+         --discipline: which causal algorithm the chaos campaigns run (vector-timestamp cbcast, default, or constant-metadata pccast)"
     );
 }
 
@@ -91,7 +93,7 @@ fn main() {
             "t6" => println!("{}", ex::t6::run(&[4, 8, 16, 32])),
             "t7" => println!("{}", ex::t7::run(&[4, 8, 16, 32, 64, 128, 256])),
             "t7plus" => {
-                println!("{}", ex::t7plus::run(&[4, 16, 64, 256]));
+                println!("{}", ex::t7plus::run(&[4, 16, 64, 256, 1024, 4096]));
                 if let Some(path) = &perfetto {
                     perfetto_used = true;
                     write_perfetto(
@@ -118,6 +120,7 @@ fn main() {
             "chaos" => {
                 let mut seed: Option<u64> = None;
                 let mut knobs = catocs::vsync::BugKnobs::default();
+                let mut discipline = catocs::group::CausalDiscipline::Cbcast;
                 while i < args.len() {
                     match args[i].as_str() {
                         "--seed" => {
@@ -128,16 +131,20 @@ fn main() {
                             knobs = parse_knob(args.get(i + 1));
                             i += 2;
                         }
+                        "--discipline" => {
+                            discipline = parse_discipline(args.get(i + 1));
+                            i += 2;
+                        }
                         _ => break,
                     }
                 }
                 if let Some(seed) = seed {
-                    if ex::chaos::replay(seed, knobs) > 0 {
+                    if ex::chaos::replay(seed, knobs, discipline) > 0 {
                         std::process::exit(1);
                     }
                 } else {
                     // 50 seeds × {scan,indexed} × {full,delta} = 200 runs.
-                    let (table, violations) = ex::chaos::run(50);
+                    let (table, violations) = ex::chaos::run_discipline(50, discipline);
                     println!("{table}");
                     if violations > 0 {
                         std::process::exit(1);
@@ -297,4 +304,15 @@ fn parse_knob(arg: Option<&String>) -> catocs::vsync::BugKnobs {
             eprintln!("--bug wants one of: no-detector-reset, no-flush-retry, no-chain-reset");
             std::process::exit(2);
         })
+}
+
+fn parse_discipline(arg: Option<&String>) -> catocs::group::CausalDiscipline {
+    match arg.map(String::as_str) {
+        Some("cbcast") => catocs::group::CausalDiscipline::Cbcast,
+        Some("pccast") => catocs::group::CausalDiscipline::Pccast,
+        _ => {
+            eprintln!("--discipline wants cbcast or pccast");
+            std::process::exit(2);
+        }
+    }
 }

@@ -272,8 +272,13 @@ pub fn collect(wall: bool) -> BenchSnapshot {
         push_point(&mut snap, &prefix, &p, wall_secs, wall);
     }
 
-    // T7+ N-scaling, best configuration.
-    for n in [4usize, 16, 64, 256] {
+    // T7+ N-scaling: best cbcast configuration (indexed+delta), the
+    // uncompressed-timestamp baseline (indexed+full), and the
+    // constant-metadata discipline side by side. Full grows linearly
+    // with N; delta stays small only in this sparse-sender regime (T7
+    // shows it degrading under all-to-all); pccast is the fixed 33-byte
+    // link tag at every N.
+    for n in [4usize, 16, 64, 256, 1024, 4096] {
         let p = t7plus::measure(n, true, true);
         let prefix = format!("t7plus.scaling.n{n}");
         snap.push(
@@ -287,6 +292,30 @@ pub fn collect(wall: bool) -> BenchSnapshot {
             format!("{prefix}.bytes_per_msg"),
             p.bytes_per_msg,
             "B/msg",
+            Direction::LowerIsBetter,
+            true,
+        );
+        let full = t7plus::measure(n, true, false);
+        snap.push(
+            format!("t7plus.scaling.full.n{n}.bytes_per_msg"),
+            full.bytes_per_msg,
+            "B/msg",
+            Direction::LowerIsBetter,
+            true,
+        );
+        let pc = t7plus::measure_pccast(n);
+        let prefix = format!("t7plus.scaling.pccast.n{n}");
+        snap.push(
+            format!("{prefix}.bytes_per_msg"),
+            pc.bytes_per_msg,
+            "B/msg",
+            Direction::LowerIsBetter,
+            true,
+        );
+        snap.push(
+            format!("{prefix}.linkbuf_peak"),
+            pc.linkbuf_peak as f64,
+            "msgs",
             Direction::LowerIsBetter,
             true,
         );
@@ -402,6 +431,9 @@ mod tests {
             "t7plus.n64.scan.full.work_per_event",
             "t7plus.n64.indexed.delta.bytes_per_msg",
             "t7plus.scaling.n256.work_per_event",
+            "t7plus.scaling.n4096.bytes_per_msg",
+            "t7plus.scaling.pccast.n256.bytes_per_msg",
+            "t7plus.scaling.pccast.n4096.bytes_per_msg",
             "group.causal.deliveries_per_vsec",
             "group.causal.hold_p99_ms",
             "group.causal.ts.cbcast.holdback_peak",
@@ -421,6 +453,36 @@ mod tests {
         );
         // No chaos violations in the shipping configuration.
         assert_eq!(s.get("chaos.violations").unwrap().value, 0.0);
+        // The scaling contrast the pccast rows exist to show: constant
+        // ordering metadata from N=256 to N=4096 (within 10%), while
+        // cbcast's delta-encoded timestamps keep growing with N.
+        let pc256 = s
+            .get("t7plus.scaling.pccast.n256.bytes_per_msg")
+            .unwrap()
+            .value;
+        let pc4096 = s
+            .get("t7plus.scaling.pccast.n4096.bytes_per_msg")
+            .unwrap()
+            .value;
+        assert!(
+            (pc4096 - pc256).abs() <= 0.10 * pc256,
+            "pccast bytes/msg not flat: {pc256} -> {pc4096}"
+        );
+        let cb256 = s
+            .get("t7plus.scaling.full.n256.bytes_per_msg")
+            .unwrap()
+            .value;
+        let cb4096 = s
+            .get("t7plus.scaling.full.n4096.bytes_per_msg")
+            .unwrap()
+            .value;
+        assert!(
+            cb4096 > 10.0 * cb256,
+            "full-timestamp bytes/msg should grow with N: {cb256} -> {cb4096}"
+        );
+        // pccast undercuts even the delta-compressed sparse-regime rows.
+        let delta4096 = s.get("t7plus.scaling.n4096.bytes_per_msg").unwrap().value;
+        assert!(pc4096 < delta4096, "pccast must undercut cbcast at N=4096");
         // The default snapshot is fully deterministic.
         assert!(s.metrics.iter().all(|m| m.det));
     }

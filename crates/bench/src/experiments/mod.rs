@@ -38,7 +38,7 @@ pub fn run_all() -> Vec<Table> {
     out.push(t5::run(&[4, 8, 16, 32, 48]));
     out.push(t6::run(&[4, 8, 16, 32]));
     out.push(t7::run(&[4, 8, 16, 32, 64, 128, 256]));
-    out.push(t7plus::run(&[4, 16, 64, 256]));
+    out.push(t7plus::run(&[4, 16, 64, 256, 1024, 4096]));
     out.push(t8::run());
     out.push(t9::run(&[4, 8, 12]));
     out.push(t10::run(&[2, 4, 8, 16]));

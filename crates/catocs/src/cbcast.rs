@@ -221,7 +221,12 @@ impl<P: Clone> CbcastEndpoint<P> {
             gc_frontier: VectorClock::new(n),
             missing: BTreeMap::new(),
             last_sent_vt: VectorClock::new(n),
-            decode_chain: vec![(0, Some(VectorClock::new(n))); n],
+            // Zero-width initial bases: `decode_delta` resizes its base
+            // clone to the delta's declared width (missing components
+            // read as 0), so these decode identically to eager all-zero
+            // width-`n` bases while keeping a fresh endpoint O(n) rather
+            // than O(n²) — material for the N=4096 scaling runs.
+            decode_chain: vec![(0, Some(VectorClock::new(0))); n],
             undecoded: vec![BTreeMap::new(); n],
             alive: vec![true; n],
             cut: VectorClock::new(n),
@@ -334,10 +339,17 @@ impl<P: Clone> CbcastEndpoint<P> {
     /// group-wide stable frontier, in messages — the §5 stability-horizon
     /// lag. Every unit of lag is a message that must stay buffered for
     /// possible retransmission.
+    ///
+    /// Summed componentwise, not total-vs-total: after an eviction the
+    /// surviving members' frontier can run *ahead* of an evicted-live
+    /// node's clock in some components, and a saturating difference of
+    /// totals would let that surplus cancel real lag in others, reporting
+    /// zero while unstable messages still sit in the buffer.
     pub fn stability_lag(&self) -> u64 {
-        self.vt
-            .total_events()
-            .saturating_sub(self.stability.stable_frontier().total_events())
+        let frontier = self.stability.stable_frontier();
+        (0..self.n)
+            .map(|s| self.vt.get(s).saturating_sub(frontier.get(s)))
+            .sum()
     }
 
     /// Telemetry hook: instantaneous queue depths and buffering gauges,
@@ -798,6 +810,13 @@ impl<P: Clone> CbcastEndpoint<P> {
                     self.undecoded[sender].insert(msg.id.seq, msg);
                 }
             }
+            VtWire::Pc { .. } => {
+                // A pccast link copy reached a cbcast endpoint (mixed
+                // disciplines in one group is a configuration error):
+                // there is no vector to decode, so drop for NACK-driven
+                // full retransmission like any undecodable timestamp.
+                self.stats.ts_decode_errors += 1;
+            }
         }
     }
 
@@ -833,6 +852,8 @@ impl<P: Clone> CbcastEndpoint<P> {
             let decoded = match &msg.vt_wire {
                 VtWire::Delta(bytes) => VectorClock::decode_delta(bytes, &base),
                 VtWire::Full(bytes) => VectorClock::decode(bytes),
+                // Pc tags never park (they are not accepted by cbcast).
+                VtWire::Pc { .. } => None,
             };
             match decoded {
                 Some(vt) if vt.len() == self.n => {
@@ -1170,6 +1191,103 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(a.stats().sent, 1);
         assert_eq!(a.clock().get(0), 1);
+    }
+
+    /// Quiescent-sender stability: after the last data message, the
+    /// tick-driven AckGossip path alone must advance the stability
+    /// horizon to the delivered clock everywhere and let GC reclaim the
+    /// buffered copies — a sender going quiet must not freeze the
+    /// horizon (or buffer growth) for the rest of the group.
+    #[test]
+    fn quiescent_group_reaches_stability_via_tick_gossip() {
+        let (mut a, mut b, mut c) = trio();
+        let (_, out) = a.multicast(t(0), "last words");
+        let data = data_of(&out);
+        b.on_wire(t(1), data.clone());
+        c.on_wire(t(1), data);
+        // No further data traffic. Before any gossip nobody can know the
+        // others delivered, so the message is unstable everywhere.
+        assert!(a.stability_lag() > 0);
+        assert_eq!(a.stats().buffered_now, 1);
+        // Quiescent tick rounds: every endpoint gossips its delivered
+        // clock; that alone must carry the horizon to the clocks.
+        for round in 0..2u64 {
+            let now = t(10 + round);
+            let ga = a.on_tick(now);
+            let gb = b.on_tick(now);
+            let gc_out = c.on_tick(now);
+            for (src, outs) in [(0usize, &ga), (1, &gb), (2, &gc_out)] {
+                for (_, w) in outs {
+                    if matches!(w, Wire::AckGossip { .. }) {
+                        if src != 0 {
+                            a.on_wire(now, w.clone());
+                        }
+                        if src != 1 {
+                            b.on_wire(now, w.clone());
+                        }
+                        if src != 2 {
+                            c.on_wire(now, w.clone());
+                        }
+                    }
+                }
+            }
+        }
+        for (who, ep) in [(0, &a), (1, &b), (2, &c)] {
+            assert_eq!(
+                ep.stability_lag(),
+                0,
+                "P{who}: horizon stuck at {:?} with clock {:?}",
+                ep.stable_frontier(),
+                ep.clock()
+            );
+        }
+        // The buffered copy was reclaimed by stability GC.
+        assert_eq!(a.stats().buffered_now, 0);
+        assert_eq!(a.stats().stabilized, 1);
+    }
+
+    /// Regression: the stability-horizon lag must not under-report when
+    /// the survivors' frontier runs ahead of an evicted-live node's clock
+    /// in some component. Compared total-vs-total (with a saturating
+    /// difference), the survivor's surplus cancelled the evicted node's
+    /// real lag and the sampler reported zero while an unstable message
+    /// still sat in its buffer.
+    #[test]
+    fn stability_lag_is_componentwise_after_eviction() {
+        let cfg = GroupConfig::default();
+        let mut b: CbcastEndpoint<&str> = CbcastEndpoint::new(1, 2, cfg);
+        // b delivers three messages from a, then multicasts one of its
+        // own: clock [3, 1].
+        for seq in 1..=3u64 {
+            let mut vt = VectorClock::new(2);
+            vt.set(0, seq);
+            let msg = DataMsg {
+                id: MsgId { sender: 0, seq },
+                vt_wire: VtWire::Full(vt.encode()),
+                vt,
+                payload: "m",
+                retransmit: false,
+                appended: Vec::new(),
+            };
+            b.on_wire(t(seq), Wire::Data(msg));
+        }
+        let _ = b.multicast(t(4), "mine");
+        // a raced ahead to five own deliveries nobody else has seen...
+        b.on_wire(
+            t(5),
+            Wire::AckGossip {
+                from: 0,
+                delivered: VectorClock::from_entries(vec![5, 0]),
+            },
+        );
+        // ...and a view change evicts b while it is still running: the
+        // frontier over the survivor's row is [5, 0] against b's [3, 1].
+        let cut = VectorClock::from_entries(vec![5, 1]);
+        b.on_view_install(t(6), &[0], &cut);
+        // b's own message is unstable and still buffered; the lag metric
+        // must say so instead of letting a's surplus cancel it to zero.
+        assert_eq!(b.stats().buffered_now, 1);
+        assert_eq!(b.stability_lag(), 1);
     }
 
     #[test]

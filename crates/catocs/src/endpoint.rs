@@ -6,11 +6,14 @@
 //! thing that changes between runs is the [`Discipline`].
 
 use crate::abcast::AbcastEndpoint;
-use crate::cbcast::CbcastEndpoint;
+use crate::cbcast::{BlockedReport, CbcastEndpoint};
 use crate::fbcast::FbcastEndpoint;
-use crate::group::GroupConfig;
+use crate::group::{CausalDiscipline, GroupConfig};
+use crate::pccast::PccastEndpoint;
 use crate::token::TokenAbcastEndpoint;
 use crate::wire::{Delivery, EndpointStats, Out, Wire};
+use clocks::vector::VectorClock;
+use simnet::obs::ProbeHandle;
 use simnet::time::SimTime;
 
 /// Which ordering guarantee an endpoint provides.
@@ -38,6 +41,211 @@ impl Discipline {
     }
 }
 
+/// A causal endpoint running either causal-delivery algorithm, selected
+/// by [`GroupConfig::discipline`]: vector-timestamp cbcast or
+/// constant-metadata pccast. Everything above this facade — harnesses,
+/// chaos campaigns, probes, telemetry — is algorithm-agnostic, which is
+/// what lets the equivalence proptests and the invariant checker run
+/// unchanged against both.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum CausalEndpoint<P> {
+    /// ISIS-style vector-timestamp cbcast.
+    Cbcast(CbcastEndpoint<P>),
+    /// PC-broadcast-style constant-metadata pccast.
+    Pccast(PccastEndpoint<P>),
+}
+
+impl<P: Clone> CausalEndpoint<P> {
+    /// Creates the endpoint for member `me` of a group of `n`, running
+    /// the algorithm named by `cfg.discipline`.
+    pub fn new(me: usize, n: usize, cfg: GroupConfig) -> Self {
+        match cfg.discipline {
+            CausalDiscipline::Cbcast => CausalEndpoint::Cbcast(CbcastEndpoint::new(me, n, cfg)),
+            CausalDiscipline::Pccast => CausalEndpoint::Pccast(PccastEndpoint::new(me, n, cfg)),
+        }
+    }
+
+    /// Which algorithm this endpoint runs.
+    pub fn causal_discipline(&self) -> CausalDiscipline {
+        match self {
+            CausalEndpoint::Cbcast(_) => CausalDiscipline::Cbcast,
+            CausalEndpoint::Pccast(_) => CausalDiscipline::Pccast,
+        }
+    }
+
+    /// Installs an observability probe (read-only).
+    pub fn set_probe(&mut self, probe: ProbeHandle) {
+        match self {
+            CausalEndpoint::Cbcast(e) => e.set_probe(probe),
+            CausalEndpoint::Pccast(e) => e.set_probe(probe),
+        }
+    }
+
+    /// Bug-injection knob: skip the delta decode-chain reset at view
+    /// install. Meaningful only for cbcast; pccast has no decode chains,
+    /// so this is a no-op there.
+    pub fn debug_skip_view_reset(&mut self, on: bool) {
+        if let CausalEndpoint::Cbcast(e) = self {
+            e.debug_skip_view_reset(on);
+        }
+    }
+
+    /// Suspends delivery until the next view install (flush blackout).
+    pub fn freeze(&mut self, now: SimTime) {
+        match self {
+            CausalEndpoint::Cbcast(e) => e.freeze(now),
+            CausalEndpoint::Pccast(e) => e.freeze(now),
+        }
+    }
+
+    /// Whether delivery is frozen by a flush in progress.
+    pub fn is_frozen(&self) -> bool {
+        match self {
+            CausalEndpoint::Cbcast(e) => e.is_frozen(),
+            CausalEndpoint::Pccast(e) => e.is_frozen(),
+        }
+    }
+
+    /// This member's index.
+    pub fn me(&self) -> usize {
+        match self {
+            CausalEndpoint::Cbcast(e) => e.me(),
+            CausalEndpoint::Pccast(e) => e.me(),
+        }
+    }
+
+    /// Group size.
+    pub fn group_size(&self) -> usize {
+        match self {
+            CausalEndpoint::Cbcast(e) => e.group_size(),
+            CausalEndpoint::Pccast(e) => e.group_size(),
+        }
+    }
+
+    /// The delivered vector clock.
+    pub fn clock(&self) -> &VectorClock {
+        match self {
+            CausalEndpoint::Cbcast(e) => e.clock(),
+            CausalEndpoint::Pccast(e) => e.clock(),
+        }
+    }
+
+    /// Endpoint statistics.
+    pub fn stats(&self) -> &EndpointStats {
+        match self {
+            CausalEndpoint::Cbcast(e) => e.stats(),
+            CausalEndpoint::Pccast(e) => e.stats(),
+        }
+    }
+
+    /// Number of unstable messages currently buffered.
+    pub fn buffered_len(&self) -> usize {
+        match self {
+            CausalEndpoint::Cbcast(e) => e.buffered_len(),
+            CausalEndpoint::Pccast(e) => e.buffered_len(),
+        }
+    }
+
+    /// Current holdback-queue length.
+    pub fn holdback_len(&self) -> usize {
+        match self {
+            CausalEndpoint::Cbcast(e) => e.holdback_len(),
+            CausalEndpoint::Pccast(e) => e.holdback_len(),
+        }
+    }
+
+    /// Messages parked awaiting a delta decode base (cbcast only; pccast
+    /// buffers per link instead and never parks).
+    pub fn parked_len(&self) -> usize {
+        match self {
+            CausalEndpoint::Cbcast(e) => e.parked_len(),
+            CausalEndpoint::Pccast(e) => e.parked_len(),
+        }
+    }
+
+    /// Retransmits every unstable buffered message with full timestamps.
+    pub fn flush_unstable(&mut self) -> Vec<Out<P>> {
+        match self {
+            CausalEndpoint::Cbcast(e) => e.flush_unstable(),
+            CausalEndpoint::Pccast(e) => e.flush_unstable(),
+        }
+    }
+
+    /// The group-wide stable frontier.
+    pub fn stable_frontier(&self) -> VectorClock {
+        match self {
+            CausalEndpoint::Cbcast(e) => e.stable_frontier(),
+            CausalEndpoint::Pccast(e) => e.stable_frontier(),
+        }
+    }
+
+    /// Componentwise stability-horizon lag.
+    pub fn stability_lag(&self) -> u64 {
+        match self {
+            CausalEndpoint::Cbcast(e) => e.stability_lag(),
+            CausalEndpoint::Pccast(e) => e.stability_lag(),
+        }
+    }
+
+    /// Telemetry gauges, prefixed `cbcast.` or `pccast.` per algorithm.
+    pub fn sample(&self, emit: &mut dyn FnMut(&str, f64)) {
+        match self {
+            CausalEndpoint::Cbcast(e) => e.sample(emit),
+            CausalEndpoint::Pccast(e) => e.sample(emit),
+        }
+    }
+
+    /// Blocked-on explanation of the holdback queue.
+    pub fn blocked_report(&self) -> Vec<BlockedReport> {
+        match self {
+            CausalEndpoint::Cbcast(e) => e.blocked_report(),
+            CausalEndpoint::Pccast(e) => e.blocked_report(),
+        }
+    }
+
+    /// Applies an installed view. `view_id` is the installed view's id —
+    /// pccast uses it as the link epoch; cbcast does not need it.
+    /// Returns thawed deliveries plus any outbound messages (pccast must
+    /// forward thawed deliveries on its fresh links; cbcast emits none).
+    pub fn on_view_install(
+        &mut self,
+        now: SimTime,
+        view_id: u64,
+        members: &[usize],
+        cut: &VectorClock,
+    ) -> (Vec<Delivery<P>>, Vec<Out<P>>) {
+        match self {
+            CausalEndpoint::Cbcast(e) => (e.on_view_install(now, members, cut), Vec::new()),
+            CausalEndpoint::Pccast(e) => e.on_view_install(now, view_id, members, cut),
+        }
+    }
+
+    /// Multicasts `payload`; the self-delivery is immediate.
+    pub fn multicast(&mut self, now: SimTime, payload: P) -> (Delivery<P>, Vec<Out<P>>) {
+        match self {
+            CausalEndpoint::Cbcast(e) => e.multicast(now, payload),
+            CausalEndpoint::Pccast(e) => e.multicast(now, payload),
+        }
+    }
+
+    /// Handles an incoming wire message.
+    pub fn on_wire(&mut self, now: SimTime, wire: Wire<P>) -> (Vec<Delivery<P>>, Vec<Out<P>>) {
+        match self {
+            CausalEndpoint::Cbcast(e) => e.on_wire(now, wire),
+            CausalEndpoint::Pccast(e) => e.on_wire(now, wire),
+        }
+    }
+
+    /// Periodic protocol maintenance.
+    pub fn on_tick(&mut self, now: SimTime) -> Vec<Out<P>> {
+        match self {
+            CausalEndpoint::Cbcast(e) => e.on_tick(now),
+            CausalEndpoint::Pccast(e) => e.on_tick(now),
+        }
+    }
+}
+
 /// One group member's multicast endpoint, any discipline.
 // Each simulated node owns exactly one of these, so the size spread
 // between variants never multiplies.
@@ -46,8 +254,8 @@ impl Discipline {
 pub enum Endpoint<P> {
     /// FIFO.
     Fifo(FbcastEndpoint<P>),
-    /// Causal.
-    Causal(CbcastEndpoint<P>),
+    /// Causal — cbcast or pccast per [`GroupConfig::discipline`].
+    Causal(CausalEndpoint<P>),
     /// Sequencer total order.
     Total(AbcastEndpoint<P>),
     /// Token total order.
@@ -59,7 +267,7 @@ impl<P: Clone> Endpoint<P> {
     pub fn new(d: Discipline, me: usize, n: usize, cfg: GroupConfig) -> Self {
         match d {
             Discipline::Fifo => Endpoint::Fifo(FbcastEndpoint::new(me, n, cfg)),
-            Discipline::Causal => Endpoint::Causal(CbcastEndpoint::new(me, n, cfg)),
+            Discipline::Causal => Endpoint::Causal(CausalEndpoint::new(me, n, cfg)),
             Discipline::Total { sequencer } => {
                 Endpoint::Total(AbcastEndpoint::new(me, n, sequencer, cfg))
             }

@@ -81,6 +81,32 @@ impl View {
     }
 }
 
+/// Which causal-delivery algorithm a causal group runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CausalDiscipline {
+    /// ISIS-style cbcast: every data message carries an N-wide vector
+    /// timestamp and receivers hold back until the deliverability test
+    /// passes (§3.4's linear-in-N metadata).
+    #[default]
+    Cbcast,
+    /// PC-broadcast-style constant-metadata causal broadcast: data
+    /// messages carry only a constant-size `(epoch, link, seq)` tag and
+    /// ride reliable FIFO links, with per-link reorder buffers (hybrid
+    /// buffering) in place of vector-clock wait counts. See
+    /// `catocs::pccast`.
+    Pccast,
+}
+
+impl CausalDiscipline {
+    /// Short name, used as the telemetry-sample prefix.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CausalDiscipline::Cbcast => "cbcast",
+            CausalDiscipline::Pccast => "pccast",
+        }
+    }
+}
+
 /// Protocol tuning knobs shared by the multicast endpoints.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct GroupConfig {
@@ -111,6 +137,10 @@ pub struct GroupConfig {
     /// (against the sender's previous message) instead of the full
     /// vector. Retransmissions always fall back to full encoding.
     pub delta_timestamps: bool,
+    /// Which causal-delivery algorithm `Discipline::Causal` groups run:
+    /// vector-timestamp cbcast (default) or constant-metadata pccast.
+    /// The other disciplines (fifo/total) ignore this knob.
+    pub discipline: CausalDiscipline,
 }
 
 impl Default for GroupConfig {
@@ -125,6 +155,7 @@ impl Default for GroupConfig {
             max_append: 16,
             indexed_holdback: true,
             delta_timestamps: false,
+            discipline: CausalDiscipline::default(),
         }
     }
 }

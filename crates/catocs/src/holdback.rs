@@ -116,10 +116,25 @@ impl<P> HoldbackQueue<P> {
 
     /// Inserts a newly arrived message. `local_vt` is the receiver's
     /// delivered clock, used by the indexed structure to compute how many
-    /// direct predecessors are still undelivered. The caller must have
-    /// rejected duplicates (via [`Self::contains`] and the delivered
-    /// clock) first.
-    pub fn insert(&mut self, pending: Pending<P>, local_vt: &VectorClock) {
+    /// direct predecessors are still undelivered.
+    ///
+    /// Duplicates are rejected here, not just by the caller: a wire copy
+    /// of a message that was already delivered (`id.seq` at or below the
+    /// delivered clock) or is still held must return `false` and leave
+    /// the queue untouched. Before this guard, a dup arriving *after* its
+    /// original was delivered resurrected the entry in the indexed path
+    /// (its wait count computes to zero against the advanced clock, so it
+    /// popped as ready a second time), and a dup of a still-held message
+    /// double-registered its waiters, making `note_delivered` decrement
+    /// one wait twice. Returns whether the message was accepted.
+    pub fn insert(&mut self, pending: Pending<P>, local_vt: &VectorClock) -> bool {
+        // `peek`, not `contains`: well-behaved callers have already paid
+        // for their own dup probe, so this defensive re-check must not
+        // inflate the work counters T7+ measures.
+        let id = pending.msg.id;
+        if id.seq <= local_vt.get(id.sender) || self.peek(id) {
+            return false;
+        }
         match self {
             HoldbackQueue::Scan(q) => {
                 q.work += 1;
@@ -127,6 +142,7 @@ impl<P> HoldbackQueue<P> {
             }
             HoldbackQueue::Indexed(q) => q.insert(pending, local_vt),
         }
+        true
     }
 
     /// Removes and returns the earliest-arrived deliverable message, if
@@ -318,7 +334,8 @@ impl<P> IndexedHoldback<P> {
         for id in list {
             self.work += 1;
             if let Some(e) = self.entries.get_mut(&id) {
-                e.waits -= 1;
+                debug_assert!(e.waits > 0, "waiter registered for {id} with zero waits");
+                e.waits = e.waits.saturating_sub(1);
                 if e.waits == 0 {
                     self.ready.push(Reverse((e.arrival_no, id)));
                 }
@@ -441,6 +458,60 @@ mod tests {
             assert_eq!(
                 order,
                 vec![MsgId { sender: 1, seq: 2 }, MsgId { sender: 0, seq: 1 }],
+                "indexed={indexed}"
+            );
+        }
+    }
+
+    /// Regression (dup-after-deliver): a duplicated wire copy arriving
+    /// after its original was delivered must be rejected, not requeued.
+    /// Before the insert guard, the indexed path computed zero waits for
+    /// the dup against the advanced clock and popped it as ready again —
+    /// a double delivery (and a tripped deliverability debug-assert) —
+    /// while the scan path parked it forever, diverging between modes.
+    #[test]
+    fn dup_after_deliver_is_not_resurrected() {
+        for indexed in [false, true] {
+            let mut q: HoldbackQueue<u32> = HoldbackQueue::new(indexed, 2);
+            let mut vt = VectorClock::new(2);
+            assert!(q.insert(pend(1, 1, &[0, 1]), &vt));
+            let order = drain_all(&mut q, &mut vt);
+            assert_eq!(
+                order,
+                vec![MsgId { sender: 1, seq: 1 }],
+                "indexed={indexed}"
+            );
+            // The late duplicate: same id, same timestamp, original long
+            // delivered. The queue must refuse it and stay empty.
+            assert!(!q.insert(pend(1, 1, &[0, 1]), &vt), "indexed={indexed}");
+            assert!(q.is_empty(), "indexed={indexed}");
+            assert!(drain_all(&mut q, &mut vt).is_empty(), "indexed={indexed}");
+        }
+    }
+
+    /// Regression (dup-while-held): re-inserting a message that is still
+    /// in the queue must not double-register its waiters. Before the
+    /// guard, `note_delivered` walked the doubled waiter list and
+    /// decremented the single wait twice — a usize underflow panic in the
+    /// indexed path.
+    #[test]
+    fn dup_while_held_does_not_double_count_waits() {
+        for indexed in [false, true] {
+            let mut q: HoldbackQueue<u32> = HoldbackQueue::new(indexed, 3);
+            let vt = VectorClock::new(3);
+            // (2,1) waits on exactly one predecessor, (1,1).
+            assert!(q.insert(pend(2, 1, &[0, 1, 1]), &vt));
+            assert!(!q.insert(pend(2, 1, &[0, 1, 1]), &vt), "indexed={indexed}");
+            assert_eq!(q.len(), 1);
+            let mut local = VectorClock::new(3);
+            local.set(1, 1);
+            // Pre-fix indexed: the doubled waiter registration underflows
+            // the wait count right here.
+            q.note_delivered(1, 1);
+            let order = drain_all(&mut q, &mut local);
+            assert_eq!(
+                order,
+                vec![MsgId { sender: 2, seq: 1 }],
                 "indexed={indexed}"
             );
         }

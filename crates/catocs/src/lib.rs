@@ -50,6 +50,7 @@ pub mod group;
 pub mod harness;
 pub mod holdback;
 pub mod membership;
+pub mod pccast;
 pub mod safety;
 pub mod stability;
 pub mod token;

@@ -1,7 +1,8 @@
 //! Virtual-synchrony chaos campaigns and the invariant checker behind
 //! them.
 //!
-//! A campaign runs a full group — [`CbcastEndpoint`], [`FailureDetector`]
+//! A campaign runs a full group — a [`CausalEndpoint`] (cbcast or
+//! pccast, per the campaign's [`GroupConfig::discipline`]), [`FailureDetector`]
 //! and [`MembershipEngine`] wired into one [`ChaosNode`] per process —
 //! under a seed-derived [`FaultPlan`] (partitions, heals, crashes,
 //! recoveries, loss/duplication/delay episodes), then replays every
@@ -34,7 +35,8 @@
 //! decode chains across view installs) so each fix keeps a failing seed
 //! pinned against it.
 
-use crate::cbcast::{BlockedReport, CbcastEndpoint};
+use crate::cbcast::BlockedReport;
+use crate::endpoint::CausalEndpoint;
 use crate::failure::FailureDetector;
 use crate::group::{GroupConfig, MsgId};
 use crate::membership::{FlushAction, MembershipEngine};
@@ -527,7 +529,7 @@ const SUSPECT_AFTER: SimDuration = SimDuration::from_millis(100);
 pub struct ChaosNode {
     me: usize,
     n: usize,
-    endpoint: CbcastEndpoint<u64>,
+    endpoint: CausalEndpoint<u64>,
     detector: FailureDetector,
     engine: MembershipEngine,
     knobs: BugKnobs,
@@ -557,7 +559,7 @@ impl ChaosNode {
     /// Creates member `me` with an observability probe installed on its
     /// endpoint — used by the incident-dump rerun after a violation.
     pub fn with_probe(me: usize, cfg: &CampaignConfig, probe: ProbeHandle) -> Self {
-        let mut endpoint = CbcastEndpoint::new(me, cfg.n, cfg.group.clone());
+        let mut endpoint = CausalEndpoint::new(me, cfg.n, cfg.group.clone());
         endpoint.set_probe(probe);
         if cfg.knobs.no_chain_reset {
             endpoint.debug_skip_view_reset(true);
@@ -591,7 +593,7 @@ impl ChaosNode {
     }
 
     /// The endpoint (read post-run).
-    pub fn endpoint(&self) -> &CbcastEndpoint<u64> {
+    pub fn endpoint(&self) -> &CausalEndpoint<u64> {
         &self.endpoint
     }
 
@@ -646,7 +648,12 @@ impl ChaosNode {
                     members: members.clone(),
                     cut: cut.clone(),
                 });
-                let thawed = self.endpoint.on_view_install(ctx.now(), &members, &cut);
+                let (thawed, out) =
+                    self.endpoint
+                        .on_view_install(ctx.now(), view.id.0, &members, &cut);
+                // pccast re-forwards thawed deliveries on its fresh
+                // links; cbcast emits nothing here.
+                self.route(ctx, out);
                 self.log_deliveries(thawed);
             }
             FlushAction::None => {}

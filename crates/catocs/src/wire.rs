@@ -26,6 +26,18 @@ pub enum VtWire {
     /// per-sender seq order; receivers park messages that arrive ahead of
     /// their base and fall back to NACK-driven full retransmission.
     Delta(Vec<u8>),
+    /// Constant-size pccast tag: no vector at all, just the forwarding
+    /// link's `(epoch, from, link_seq)` position. Causal order is implied
+    /// by per-link FIFO dissemination, so the tag's size is independent of
+    /// group size — the whole point of the constant-metadata discipline.
+    Pc {
+        /// View id (epoch) the copy was forwarded in.
+        epoch: u64,
+        /// Member index of the *forwarding* peer (not the origin).
+        from: usize,
+        /// 1-based FIFO sequence on the `from → receiver` link.
+        link_seq: u64,
+    },
 }
 
 impl VtWire {
@@ -33,6 +45,8 @@ impl VtWire {
     pub fn len(&self) -> usize {
         match self {
             VtWire::Full(b) | VtWire::Delta(b) => b.len(),
+            // u64 epoch + u32 from + u64 link_seq.
+            VtWire::Pc { .. } => 20,
         }
     }
 
@@ -88,9 +102,10 @@ impl<P> DataMsg<P> {
 
     /// Rewrites the timestamp to the full encoding — every retransmitted
     /// or appended copy travels full so any receiver can decode it
-    /// without per-sender delta context (the gap/NACK fallback).
+    /// without per-sender delta context or link position (the gap/NACK
+    /// fallback, for delta-stamped cbcast and pc-tagged pccast alike).
     pub fn make_full(&mut self) {
-        if self.vt_wire.is_delta() {
+        if !matches!(self.vt_wire, VtWire::Full(_)) {
             self.vt_wire = VtWire::Full(self.vt.encode());
         }
     }
@@ -150,6 +165,20 @@ pub enum Wire<P> {
     /// part of the old view's agreed history and remain deliverable;
     /// anything beyond it is discarded.
     Install { view: View, cut: VectorClock },
+    /// pccast: cumulative per-link FIFO acknowledgement — "I have
+    /// consumed every copy you forwarded me up to `acked`". Drives both
+    /// the sender's out-log GC (ARQ window) and tail-loss retransmission.
+    PcAck { from: usize, epoch: u64, acked: u64 },
+    /// pccast: fills a NACKed link position whose payload was already
+    /// garbage-collected as stable on the forwarder. Receivers consume it
+    /// like a duplicate if `id` was delivered, else register `id` missing
+    /// and keep the link stalled until holdback repair heals it.
+    PcSkip {
+        from: usize,
+        epoch: u64,
+        link_seq: u64,
+        id: MsgId,
+    },
     /// Liveness probe for the failure detector. Carries the sender's
     /// installed view id as cheap anti-entropy: a receiver with a newer
     /// view replies with its `Install`, repairing stragglers that missed
@@ -184,6 +213,8 @@ impl<P> Wire<P> {
             Wire::Flush { proposed, .. } => 12 + 8 * proposed.members.len(),
             Wire::FlushOk { delivered, .. } => 12 + delivered.encode().len(),
             Wire::Install { view, cut } => 8 + 8 * view.members.len() + cut.encode().len(),
+            Wire::PcAck { .. } => 4 + 8 + 8,
+            Wire::PcSkip { .. } => 4 + 8 + 8 + MSG_ID,
             Wire::Heartbeat { .. } => 4 + 8,
         }
     }

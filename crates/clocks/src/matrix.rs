@@ -13,10 +13,20 @@ use crate::vector::VectorClock;
 use serde::{Deserialize, Serialize};
 
 /// An `n × n` matrix clock for a group of `n` processes.
+///
+/// Rows are allocated lazily: a row stays zero-width until something is
+/// written to it, and a zero-width row reads as all-zeros (exactly what
+/// an eagerly allocated fresh row would). This keeps a fresh matrix at
+/// `O(n)` memory instead of `O(n²)` — material for the T7+ scaling runs,
+/// where a mostly-idle group of 4096 would otherwise pay ~134 MB per
+/// endpoint for state that is almost entirely zeros. The *wire* cost
+/// ([`MatrixClock::encoded_len`]) stays the analytic dense size; laziness
+/// is a memory representation, not a protocol change.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MatrixClock {
     n: usize,
     /// `rows[i]` = best-known vector clock of process `i`'s deliveries.
+    /// May be shorter than `n` (missing components read as 0).
     rows: Vec<VectorClock>,
 }
 
@@ -25,7 +35,16 @@ impl MatrixClock {
     pub fn new(n: usize) -> Self {
         MatrixClock {
             n,
-            rows: vec![VectorClock::new(n); n],
+            rows: vec![VectorClock::new(0); n],
+        }
+    }
+
+    /// Widens row `i` to full width before an indexed write.
+    fn widen_row(&mut self, i: usize) {
+        if self.rows[i].len() < self.n {
+            let mut wide = VectorClock::new(self.n);
+            wide.merge(&self.rows[i]);
+            self.rows[i] = wide;
         }
     }
 
@@ -48,6 +67,7 @@ impl MatrixClock {
     /// Returns whether the row advanced (new delivery knowledge).
     pub fn record_delivery(&mut self, me: usize, sender: usize, seq: u64) -> bool {
         if self.rows[me].get(sender) < seq {
+            self.widen_row(me);
             self.rows[me].set(sender, seq);
             true
         } else {
@@ -79,6 +99,13 @@ impl MatrixClock {
     /// messages `1..=k` from sender `s`. Messages at or below the frontier
     /// may be garbage-collected.
     pub fn stable_frontier(&self) -> VectorClock {
+        // Any never-written (zero-width) row reads as all-zeros and pins
+        // the componentwise min at zero everywhere, so the O(n²) sweep
+        // can be skipped. This is what makes per-delivery GC checks
+        // affordable at N=4096, where most members never speak.
+        if self.rows.iter().any(|r| r.is_empty()) {
+            return VectorClock::new(self.n);
+        }
         let mut frontier = VectorClock::new(self.n);
         for s in 0..self.n {
             let min = (0..self.n).map(|i| self.rows[i].get(s)).min().unwrap_or(0);
@@ -148,6 +175,30 @@ mod tests {
         let mut m = MatrixClock::new(3);
         m.update_row(2, &VectorClock::from_entries(vec![1, 2, 3]));
         assert_eq!(m.own_row(2).get(2), 3);
+    }
+
+    #[test]
+    fn fresh_rows_stay_narrow_until_written() {
+        // Lazy allocation: a fresh matrix holds zero-width rows, and only
+        // the rows that are actually written widen. Semantics must match
+        // the dense representation throughout.
+        let mut m = MatrixClock::new(4096);
+        assert!(m.rows.iter().all(|r| r.is_empty()));
+        m.record_delivery(7, 3, 1);
+        assert_eq!(m.rows[7].len(), 4096);
+        assert!(m
+            .rows
+            .iter()
+            .enumerate()
+            .all(|(i, r)| i == 7 || r.is_empty()));
+        assert_eq!(m.own_row(7).get(3), 1);
+        assert_eq!(m.own_row(0).get(3), 0);
+        assert_eq!(m.stable_frontier(), VectorClock::new(4096));
+        // update_row widens through VectorClock::merge's resize.
+        m.update_row(9, &VectorClock::from_entries(vec![0, 2]));
+        assert_eq!(m.own_row(9).get(1), 2);
+        // Wire size is unchanged by the in-memory representation.
+        assert_eq!(m.encoded_len(), MatrixClock::new(4096).encoded_len());
     }
 
     #[test]

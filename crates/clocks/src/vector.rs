@@ -193,21 +193,34 @@ impl VectorClock {
         out
     }
 
+    /// Widest clock [`VectorClock::decode_delta`] will materialize. The
+    /// delta header declares the decoded width explicitly (the full
+    /// encoding's width is bounded by the buffer itself), so without a
+    /// cap a hostile 8-byte header with `k = 0` passes every structural
+    /// check and demands an allocation of up to `u32::MAX` entries
+    /// (~32 GiB) before a single pair is validated. Any group this
+    /// codebase simulates is orders of magnitude below this bound.
+    pub const MAX_DELTA_WIDTH: usize = 1 << 16;
+
     /// Decodes a delta encoding against `base`.
     ///
-    /// Returns `None` on malformed input: short or trailing bytes, more
-    /// pairs than components (`k > n`), duplicate or non-increasing
-    /// indices (the encoder emits them strictly increasing), or an index
-    /// out of range. `k <= n` also bounds the `resize` allocation by the
-    /// declared clock width, so a hostile length prefix cannot demand
-    /// more memory than a well-formed encoding of the same width.
+    /// Returns `None` on malformed input: short or trailing bytes, a
+    /// declared width past [`VectorClock::MAX_DELTA_WIDTH`], more pairs
+    /// than components (`k > n`), duplicate or non-increasing indices
+    /// (the encoder emits them strictly increasing), or an index out of
+    /// range.
     pub fn decode_delta(buf: &[u8], base: &VectorClock) -> Option<Self> {
         if buf.len() < 8 {
             return None;
         }
         let n = u32::from_le_bytes(buf[0..4].try_into().ok()?) as usize;
         let k = u32::from_le_bytes(buf[4..8].try_into().ok()?) as usize;
-        if buf.len() != 8 + 12 * k || k > n {
+        if n > Self::MAX_DELTA_WIDTH || k > n {
+            return None;
+        }
+        // `k <= n <= MAX_DELTA_WIDTH`, so this arithmetic cannot
+        // overflow even on 32-bit targets.
+        if buf.len() != 8 + 12 * k {
             return None;
         }
         let mut clock = base.clone();
@@ -353,6 +366,31 @@ mod tests {
     }
 
     #[test]
+    fn delta_decode_bounds_hostile_width() {
+        let base = vc(&[1, 2]);
+        // Regression: a bare 8-byte header declaring n = u32::MAX with
+        // zero pairs passes the structural checks (`buf.len() == 8 + 12k`,
+        // `k <= n`) and used to demand a ~32 GiB `resize` before any
+        // further validation.
+        let mut d = Vec::new();
+        d.extend_from_slice(&u32::MAX.to_le_bytes());
+        d.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(VectorClock::decode_delta(&d, &base), None);
+        // One past the cap is rejected; the cap itself is representable.
+        let mut d = Vec::new();
+        d.extend_from_slice(&((VectorClock::MAX_DELTA_WIDTH + 1) as u32).to_le_bytes());
+        d.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(VectorClock::decode_delta(&d, &base), None);
+        let mut d = Vec::new();
+        d.extend_from_slice(&(VectorClock::MAX_DELTA_WIDTH as u32).to_le_bytes());
+        d.extend_from_slice(&0u32.to_le_bytes());
+        let wide = VectorClock::decode_delta(&d, &base).expect("cap width decodes");
+        assert_eq!(wide.len(), VectorClock::MAX_DELTA_WIDTH);
+        assert_eq!(wide.get(1), 2);
+        assert_eq!(wide.get(VectorClock::MAX_DELTA_WIDTH - 1), 0);
+    }
+
+    #[test]
     fn helpers() {
         assert!(vc(&[0, 1]).happens_before(&vc(&[1, 1])));
         assert!(vc(&[1, 0]).concurrent_with(&vc(&[0, 1])));
@@ -416,6 +454,45 @@ mod tests {
         fn delta_roundtrip_prop(a in arb_clock(10), b in arb_clock(10)) {
             let d = a.encode_delta(&b);
             prop_assert_eq!(VectorClock::decode_delta(&d, &b), Some(a));
+        }
+
+        /// Fuzz: `decode_delta` over arbitrary byte strings must never
+        /// panic, overflow, or allocate past the width cap — it either
+        /// rejects the input or produces a clock of the declared width
+        /// extending `base`.
+        #[test]
+        fn delta_decode_survives_arbitrary_bytes(
+            bytes in collection::vec(0u8..=255, 0..64),
+            base in arb_clock(6),
+        ) {
+            if let Some(c) = VectorClock::decode_delta(&bytes, &base) {
+                prop_assert!(c.len() <= VectorClock::MAX_DELTA_WIDTH);
+                let declared = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+                prop_assert_eq!(c.len(), declared);
+            }
+        }
+
+        /// Fuzz: corrupting a valid delta encoding (byte flips,
+        /// truncation, appended garbage) never panics; the decoder
+        /// either rejects it or returns some structurally sound clock.
+        #[test]
+        fn delta_decode_survives_corrupted_encodings(
+            a in arb_clock(8),
+            b in arb_clock(8),
+            flip_at in 0usize..32,
+            flip_to in 0u8..=255,
+            cut in 0usize..32,
+        ) {
+            let mut d = a.encode_delta(&b);
+            let len = d.len().max(1);
+            if let Some(byte) = d.get_mut(flip_at % len) {
+                *byte = flip_to;
+            }
+            let _ = VectorClock::decode_delta(&d, &b);
+            d.truncate(cut.min(d.len()));
+            let _ = VectorClock::decode_delta(&d, &b);
+            d.extend_from_slice(&[flip_to; 3]);
+            let _ = VectorClock::decode_delta(&d, &b);
         }
 
         /// Comparison is consistent with per-component dominance.

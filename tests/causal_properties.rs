@@ -2,7 +2,7 @@
 //! workloads, group sizes, loss rates and seeds.
 
 use catocs::endpoint::Discipline;
-use catocs::group::GroupConfig;
+use catocs::group::{CausalDiscipline, GroupConfig};
 use catocs::harness::{spawn_group, GroupApp, GroupCtx, GroupNode};
 use catocs::wire::{Delivery, Wire};
 use clocks::vector::VectorClock;
@@ -25,6 +25,8 @@ struct Verifier {
     delivered_clock: VectorClock,
     violations: u32,
     delivered: u32,
+    /// Full delivery sequence, for cross-discipline comparison.
+    order: Vec<(usize, u64)>,
 }
 
 impl GroupApp<Stamped> for Verifier {
@@ -59,11 +61,28 @@ impl GroupApp<Stamped> for Verifier {
         let seen = self.delivered_clock.get(d.id.sender);
         self.delivered_clock.set(d.id.sender, seen.max(d.id.seq));
         self.delivered += 1;
+        self.order.push((d.id.sender, d.id.seq));
         Vec::new()
     }
 }
 
 fn run_verified(seed: u64, n: usize, msgs: u32, loss: f64) -> (u32, u32, u32) {
+    run_verified_d(seed, n, msgs, loss, CausalDiscipline::Cbcast).0
+}
+
+/// Per-process delivery sequences, as `(sender, seq)` in delivery order.
+type DeliveryOrders = Vec<Vec<(usize, u64)>>;
+
+/// Runs the verified causal workload in the given causal discipline.
+/// Returns `((violations, delivered, expected), per-process delivery
+/// sequences)`.
+fn run_verified_d(
+    seed: u64,
+    n: usize,
+    msgs: u32,
+    loss: f64,
+    discipline: CausalDiscipline,
+) -> ((u32, u32, u32), DeliveryOrders) {
     let mut sim = SimBuilder::new(seed)
         .net(NetConfig::lossy_lan(loss))
         .build::<Wire<Stamped>>();
@@ -71,7 +90,10 @@ fn run_verified(seed: u64, n: usize, msgs: u32, loss: f64) -> (u32, u32, u32) {
         &mut sim,
         n,
         Discipline::Causal,
-        GroupConfig::default(),
+        GroupConfig {
+            discipline,
+            ..GroupConfig::default()
+        },
         Some(SimDuration::from_millis(9)),
         |me| Verifier {
             me,
@@ -80,19 +102,22 @@ fn run_verified(seed: u64, n: usize, msgs: u32, loss: f64) -> (u32, u32, u32) {
             delivered_clock: VectorClock::new(n),
             violations: 0,
             delivered: 0,
+            order: Vec::new(),
         },
     );
     sim.run_until(SimTime::from_secs(8));
     let mut violations = 0;
     let mut delivered = 0;
+    let mut orders = Vec::new();
     for &m in &members {
         let node = sim
             .process::<GroupNode<Stamped, Verifier>>(m)
             .expect("node");
         violations += node.app().violations;
         delivered += node.app().delivered;
+        orders.push(node.app().order.clone());
     }
-    (violations, delivered, n as u32 * msgs * n as u32)
+    ((violations, delivered, n as u32 * msgs * n as u32), orders)
 }
 
 proptest! {
@@ -120,6 +145,60 @@ proptest! {
     ) {
         let (_violations, delivered, expected) = run_verified(seed, n, msgs, 0.15);
         prop_assert_eq!(delivered, expected, "messages lost forever");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The constant-metadata discipline (pccast) upholds the same causal
+    /// safety contract as cbcast, for any seed / size / loss — checked by
+    /// the same app-level happens-before verifier, which knows nothing
+    /// about either algorithm.
+    #[test]
+    fn pccast_causal_safety_under_chaos(
+        seed in 0u64..10_000,
+        n in 2usize..7,
+        msgs in 1u32..8,
+        loss in 0.0f64..0.2,
+    ) {
+        let ((violations, _, _), _) =
+            run_verified_d(seed, n, msgs, loss, CausalDiscipline::Pccast);
+        prop_assert_eq!(violations, 0, "happens-before violated (pccast)");
+    }
+
+    /// Delivery-order equivalence: for the same seeded workload, cbcast
+    /// and pccast deliver the same messages at every process with
+    /// identical per-sender delivery sequences (the per-sender FIFO
+    /// projections must agree exactly — the two algorithms may interleave
+    /// concurrent senders differently, which causal order permits).
+    #[test]
+    fn pccast_delivery_prefixes_match_cbcast(
+        seed in 0u64..10_000,
+        n in 2usize..6,
+        msgs in 1u32..6,
+        loss in 0.0f64..0.15,
+    ) {
+        let ((cv, cd, expected), corders) =
+            run_verified_d(seed, n, msgs, loss, CausalDiscipline::Cbcast);
+        let ((pv, pd, _), porders) =
+            run_verified_d(seed, n, msgs, loss, CausalDiscipline::Pccast);
+        prop_assert_eq!(cv, 0);
+        prop_assert_eq!(pv, 0);
+        prop_assert_eq!(cd, expected, "cbcast lost messages");
+        prop_assert_eq!(pd, expected, "pccast lost messages");
+        for (who, (c, p)) in corders.iter().zip(porders.iter()).enumerate() {
+            for sender in 0..n {
+                let cs: Vec<u64> =
+                    c.iter().filter(|(s, _)| *s == sender).map(|(_, q)| *q).collect();
+                let ps: Vec<u64> =
+                    p.iter().filter(|(s, _)| *s == sender).map(|(_, q)| *q).collect();
+                prop_assert_eq!(
+                    &cs, &ps,
+                    "P{} diverges from cbcast on sender {}'s prefix", who, sender
+                );
+            }
+        }
     }
 }
 
