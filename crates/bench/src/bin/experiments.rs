@@ -7,6 +7,7 @@
 //! experiments chaos --seed 23 --bug no-detector-reset
 //! experiments chaos --discipline pccast
 //! experiments explain --seed 2 --bug no-flush-retry [--msg m0.3]
+//! experiments waitgraph --seed 2 --bug no-flush-retry [--at MS]
 //! experiments t7plus --perfetto out.json
 //! experiments bench --json BENCH_new.json [--wall]
 //! experiments benchdiff BENCH_baseline.json BENCH_new.json --gate 10
@@ -19,7 +20,8 @@ fn print_usage() {
         "usage: experiments [--perfetto FILE] \
          [all|list|f1|f2|f3|f4|t5|t6|t7|t7plus|t8|t9|t10|t11|t12|t13|t14|t15|t16|ablate\
          |chaos [--seed N] [--bug KNOB] [--discipline cbcast|pccast]\
-         |explain --seed N [--msg mS.Q] [--bug KNOB]\
+         |explain --seed N [--msg mS.Q] [--bug KNOB] [--discipline cbcast|pccast]\
+         |waitgraph --seed N [--at MS] [--bug KNOB] [--discipline cbcast|pccast]\
          |bench [--json FILE] [--wall]\
          |benchdiff OLD.json NEW.json [--gate PCT]]...\n\
          KNOB: no-detector-reset | no-flush-retry | no-chain-reset\n\
@@ -66,6 +68,8 @@ fn main() {
                      claims; ablate — design ablations; chaos — fault \
                      campaigns (--seed N replays one, --bug K injects a \
                      regression); explain — why a message is still blocked; \
+                     waitgraph — ranked stall report (--seed N, --at MS \
+                     picks a snapshot); \
                      bench — performance telemetry snapshot (--json FILE, \
                      --wall); benchdiff OLD NEW — compare snapshots \
                      (--gate PCT fails on regressions); \
@@ -100,6 +104,12 @@ fn main() {
                         path,
                         &ex::t7plus::perfetto(16, true, true),
                         "t7plus N=16 indexed/delta",
+                    );
+                    // Trace parity for the constant-metadata discipline.
+                    write_perfetto(
+                        &format!("{path}.pccast.json"),
+                        &ex::t7plus::perfetto_pccast(16),
+                        "t7plus N=16 pccast",
                     );
                 }
             }
@@ -248,6 +258,7 @@ fn main() {
                 let mut seed: Option<u64> = None;
                 let mut msg = None;
                 let mut knobs = catocs::vsync::BugKnobs::default();
+                let mut discipline = catocs::group::CausalDiscipline::Cbcast;
                 while i < args.len() {
                     match args[i].as_str() {
                         "--seed" => {
@@ -269,6 +280,10 @@ fn main() {
                             knobs = parse_knob(args.get(i + 1));
                             i += 2;
                         }
+                        "--discipline" => {
+                            discipline = parse_discipline(args.get(i + 1));
+                            i += 2;
+                        }
                         _ => break,
                     }
                 }
@@ -276,7 +291,39 @@ fn main() {
                     eprintln!("explain needs --seed N");
                     std::process::exit(2);
                 };
-                print!("{}", ex::explain::run(seed, msg, knobs));
+                print!("{}", ex::explain::run_d(seed, msg, knobs, discipline));
+            }
+            "waitgraph" => {
+                let mut seed: Option<u64> = None;
+                let mut at: Option<u64> = None;
+                let mut knobs = catocs::vsync::BugKnobs::default();
+                let mut discipline = catocs::group::CausalDiscipline::Cbcast;
+                while i < args.len() {
+                    match args[i].as_str() {
+                        "--seed" => {
+                            seed = Some(parse_num(args.get(i + 1), "waitgraph --seed"));
+                            i += 2;
+                        }
+                        "--at" => {
+                            at = Some(parse_num(args.get(i + 1), "waitgraph --at"));
+                            i += 2;
+                        }
+                        "--bug" => {
+                            knobs = parse_knob(args.get(i + 1));
+                            i += 2;
+                        }
+                        "--discipline" => {
+                            discipline = parse_discipline(args.get(i + 1));
+                            i += 2;
+                        }
+                        _ => break,
+                    }
+                }
+                let Some(seed) = seed else {
+                    eprintln!("waitgraph needs --seed N");
+                    std::process::exit(2);
+                };
+                print!("{}", ex::waitgraph::run(seed, at, knobs, discipline));
             }
             other => {
                 eprintln!("unknown experiment: {other}");

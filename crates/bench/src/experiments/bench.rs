@@ -333,12 +333,18 @@ pub fn collect(wall: bool) -> BenchSnapshot {
     let mut events = 0u64;
     let mut violations = 0u64;
     let mut hold = Histogram::new();
+    let mut stall_count = 0u64;
+    let mut stall_max_age_ms = 0f64;
+    let mut stall_worst_scc = 0u64;
     for seed in 0..CHAOS_SEEDS {
         let r = chaos::run_seed(seed, true, true, BugKnobs::default());
         delivered += r.delivered_total;
         events += r.events_processed;
         violations += r.violations.len() as u64;
         hold.merge(&r.hold_hist);
+        stall_count += r.stalls.stalls.len() as u64;
+        stall_max_age_ms = stall_max_age_ms.max(r.stalls.max_age.as_millis_f64());
+        stall_worst_scc = stall_worst_scc.max(r.stalls.worst_scc_size as u64);
     }
     let chaos_wall = start.elapsed().as_secs_f64();
     snap.push(
@@ -373,6 +379,32 @@ pub fn collect(wall: bool) -> BenchSnapshot {
         "chaos.hold_p99_ms",
         hold.quantile(0.99).as_millis_f64(),
         "ms",
+        Direction::LowerIsBetter,
+        true,
+    );
+    // Wait-graph stall analytics at the horizon of each campaign: stall
+    // candidates (cycles + wedge heads), the oldest blocked-edge age, and
+    // the largest genuine cycle (0 on healthy runs). All deterministic,
+    // so a regression that wedges delivery moves these before it moves
+    // throughput.
+    snap.push(
+        "chaos.stall.count",
+        stall_count as f64,
+        "count",
+        Direction::LowerIsBetter,
+        true,
+    );
+    snap.push(
+        "chaos.stall.max_age_ms",
+        stall_max_age_ms,
+        "ms",
+        Direction::LowerIsBetter,
+        true,
+    );
+    snap.push(
+        "chaos.stall.worst_scc_size",
+        stall_worst_scc as f64,
+        "nodes",
         Direction::LowerIsBetter,
         true,
     );
@@ -442,9 +474,14 @@ mod tests {
             "group.token.ts.token.queued_peak",
             "chaos.delivered",
             "chaos.hold_p99_ms",
+            "chaos.stall.count",
+            "chaos.stall.max_age_ms",
+            "chaos.stall.worst_scc_size",
         ] {
             assert!(s.get(name).is_some(), "missing {name}");
         }
+        // Clean campaigns never end in a genuine wait cycle.
+        assert_eq!(s.get("chaos.stall.worst_scc_size").unwrap().value, 0.0);
         // Everything multicast was delivered in the causal group.
         let delivered = s.get("group.causal.delivered").unwrap().value;
         assert_eq!(

@@ -123,6 +123,16 @@ pub fn dump_incident_to(
             crate::experiments::explain::render_reports(&mut text, *who, reports, frozen, None);
         }
     }
+    if !r.stalls.stalls.is_empty() {
+        let _ = writeln!(
+            text,
+            "\nranked stalls at the horizon (wait-graph analytics, most severe first):"
+        );
+        for (i, s) in r.stalls.stalls.iter().enumerate() {
+            let _ = writeln!(text, "  #{} {}", i + 1, s.summary());
+            let _ = writeln!(text, "     path: {}", s.render_path());
+        }
+    }
     let names: Vec<String> = (0..n).map(|p| format!("P{p}")).collect();
     let refs: Vec<&str> = names.iter().map(String::as_str).collect();
     let _ = writeln!(
@@ -233,6 +243,8 @@ pub fn run_discipline(seeds: u64, discipline: CausalDiscipline) -> (Table, u64) 
             "blocked",
             "hold p50 ms",
             "hold p99 ms",
+            "wait p50 ms",
+            "wait p99 ms",
             "violations",
             "replay stable",
         ],
@@ -248,6 +260,7 @@ pub fn run_discipline(seeds: u64, discipline: CausalDiscipline) -> (Table, u64) 
         let mut violations = 0u64;
         let mut stable = true;
         let mut hold_hist = simnet::metrics::Histogram::new();
+        let mut wait_hist = simnet::metrics::Histogram::new();
         for seed in 0..seeds {
             let r = run_seed_d(seed, indexed, delta, BugKnobs::default(), discipline);
             views += r.views_installed;
@@ -256,6 +269,20 @@ pub fn run_discipline(seeds: u64, discipline: CausalDiscipline) -> (Table, u64) 
             delivered += r.delivered_total;
             blocked += r.blocked as u64;
             hold_hist.merge(&r.hold_hist);
+            wait_hist.merge(&r.wait_hist);
+            // A clean campaign must end free of persistent wait cycles:
+            // wedging behind a partition is legitimate, deadlock is not.
+            if r.violations.is_empty() && r.stalls.persistent_cycles() > 0 {
+                violations += 1;
+                eprintln!(
+                    "chaos: seed {seed} ({}, {}) clean run ended with a persistent wait cycle:",
+                    if indexed { "indexed" } else { "scan" },
+                    if delta { "delta" } else { "full" },
+                );
+                for s in r.stalls.persistent().filter(|s| s.is_cycle) {
+                    eprintln!("  {}", s.summary());
+                }
+            }
             if !r.violations.is_empty() {
                 violations += r.violations.len() as u64;
                 eprintln!(
@@ -291,6 +318,8 @@ pub fn run_discipline(seeds: u64, discipline: CausalDiscipline) -> (Table, u64) 
             blocked.into(),
             hold_hist.quantile(0.50).as_millis_f64().into(),
             hold_hist.quantile(0.99).as_millis_f64().into(),
+            wait_hist.quantile(0.50).as_millis_f64().into(),
+            wait_hist.quantile(0.99).as_millis_f64().into(),
             violations.into(),
             if stable { "yes" } else { "NO" }.into(),
         ]);
@@ -299,6 +328,7 @@ pub fn run_discipline(seeds: u64, discipline: CausalDiscipline) -> (Table, u64) 
     t.note("each run: seed-derived partitions/heals/crashes/recoveries/degrade episodes,");
     t.note("then every process log replayed through the vsync invariant checker;");
     t.note("hold p50/p99: holdback wait of held deliveries, merged across the cell;");
+    t.note("wait p50/p99: blocked-edge ages sampled by the wait-graph every 50 ms;");
     t.note("`experiments chaos --seed N` replays one schedule and prints the plan.");
     (t, total_violations)
 }
@@ -335,6 +365,10 @@ pub fn replay(seed: u64, knobs: BugKnobs, discipline: CausalDiscipline) -> usize
         );
         if r.blocked {
             println!("  primary-partition block: survivors short of a majority of the final view");
+        }
+        if let Some(top) = r.stalls.stalls.first() {
+            println!("  top stall: {}", top.summary());
+            println!("    path: {}", top.render_path());
         }
         if r.violations.is_empty() {
             println!("  invariants: OK");
@@ -499,6 +533,10 @@ mod tests {
         // The dump names violations and per-process outcomes.
         assert!(!txt.contains("violations (0)"), "{txt}");
         assert!(txt.contains("P0:"), "{txt}");
+        // The wedged flush shows up as a ranked stall whose cycle path
+        // names the flush phase of the suspected coordinator.
+        assert!(txt.contains("ranked stalls at the horizon"), "{txt}");
+        assert!(txt.contains("flush@P"), "{txt}");
         // The machine-readable dump parses line by line.
         let jsonl = std::fs::read_to_string(&paths[1]).expect("jsonl dump");
         assert!(!jsonl.trim().is_empty());

@@ -7,11 +7,19 @@
 //! delta decode chain, being chased via NACK, or never deliverable
 //! because its sender was removed beyond the flush cut. The output is
 //! deterministic for a given seed/knob combination.
+//!
+//! Under `--discipline pccast` the same walk covers the per-link reorder
+//! buffers: a blocked copy additionally reports which link *position* its
+//! cursor waits for and why that slot is unfilled (ARQ gap, pending skip
+//! marker, or a severed link). When `--msg` names a message that sits in
+//! a detected stall component, the report names that component and its
+//! representative cycle path.
 
 use crate::experiments::chaos;
 use catocs::cbcast::BlockedReport;
-use catocs::group::MsgId;
+use catocs::group::{CausalDiscipline, MsgId};
 use catocs::vsync::BugKnobs;
+use catocs::waitgraph::WaitNode;
 use std::fmt::Write as _;
 
 /// Caps that keep a deeply wedged queue readable: a message missing a
@@ -41,7 +49,7 @@ pub(crate) fn render_reports(
             rep.msg.seq,
             rep.arrived_at.as_micros()
         );
-        if rep.waits.is_empty() {
+        if rep.waits.is_empty() && rep.link_waits.is_empty() {
             let gate = if frozen {
                 "delivery frozen by an in-progress flush"
             } else {
@@ -57,6 +65,17 @@ pub(crate) fn render_reports(
                 out,
                 "  ... and {} more missing predecessors",
                 rep.waits.len() - MAX_WAITS_PER_MSG
+            );
+        }
+        // pccast: positional waits on per-link reorder cursors.
+        for lw in rep.link_waits.iter().take(MAX_WAITS_PER_MSG) {
+            let _ = writeln!(out, "  link p{} pos {} — {}", lw.from, lw.pos, lw.status);
+        }
+        if rep.link_waits.len() > MAX_WAITS_PER_MSG {
+            let _ = writeln!(
+                out,
+                "  ... and {} more blocked link cursors",
+                rep.link_waits.len() - MAX_WAITS_PER_MSG
             );
         }
     }
@@ -85,12 +104,25 @@ pub fn parse_msg(s: &str) -> Option<MsgId> {
 /// indexed-holdback/delta-timestamp cell — the full-featured
 /// configuration, where every wait status can occur.
 pub fn run(seed: u64, msg: Option<MsgId>, knobs: BugKnobs) -> String {
-    let r = chaos::run_seed(seed, true, true, knobs);
+    run_d(seed, msg, knobs, CausalDiscipline::Cbcast)
+}
+
+/// [`run`], in the given causal discipline. Under pccast the blocked
+/// reports carry positional link waits instead of (or alongside)
+/// message-identified predecessor waits.
+pub fn run_d(
+    seed: u64,
+    msg: Option<MsgId>,
+    knobs: BugKnobs,
+    discipline: CausalDiscipline,
+) -> String {
+    let r = chaos::run_seed_d(seed, true, true, knobs, discipline);
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "EXPLAIN — seed {seed}, n={}, indexed holdback, delta timestamps",
-        chaos::size_for_seed(seed)
+        "EXPLAIN — seed {seed}, n={}, indexed holdback, delta timestamps ({})",
+        chaos::size_for_seed(seed),
+        discipline.name()
     );
     if r.violations.is_empty() {
         let _ = writeln!(out, "invariants: OK");
@@ -126,6 +158,47 @@ pub fn run(seed: u64, msg: Option<MsgId>, knobs: BugKnobs) -> String {
             let _ = writeln!(
                 out,
                 "m{}.{} is not blocked in any surviving holdback queue at the horizon",
+                want.sender, want.seq
+            );
+        } else if let Some((rank, stall)) = {
+            // Holders of the queried message: if a holder process is
+            // itself a member of a stall component (frozen mid-flush,
+            // say), everything it holds is blocked behind that stall.
+            let holders: Vec<usize> = r
+                .blocked_reports
+                .iter()
+                .filter(|(_, reps)| reps.iter().any(|rep| rep.msg == want))
+                .map(|(who, _)| *who)
+                .collect();
+            r.stalls.stalls.iter().enumerate().find(|(_, s)| {
+                s.nodes.contains(&WaitNode::Msg(want))
+                    || s.path.iter().any(|st| st.node == WaitNode::Msg(want))
+                    || holders
+                        .iter()
+                        .any(|&p| s.nodes.contains(&WaitNode::Proc(p)))
+            })
+        } {
+            let in_component = stall.nodes.contains(&WaitNode::Msg(want));
+            let _ = writeln!(
+                out,
+                "m{}.{} is {} stall component #{} (of {} ranked):",
+                want.sender,
+                want.seq,
+                if in_component {
+                    "part of"
+                } else {
+                    "blocked behind"
+                },
+                rank + 1,
+                r.stalls.stalls.len()
+            );
+            let _ = writeln!(out, "  {}", stall.summary());
+            let _ = writeln!(out, "  path: {}", stall.render_path());
+        } else {
+            let _ = writeln!(
+                out,
+                "m{}.{} is blocked but not part of any ranked stall component \
+                 (its waits resolve once upstream traffic drains)",
                 want.sender, want.seq
             );
         }
@@ -193,6 +266,50 @@ mod tests {
             missing.contains("not blocked in any surviving holdback queue"),
             "{missing}"
         );
+    }
+
+    #[test]
+    fn link_waits_render_positionally() {
+        use catocs::cbcast::{LinkWait, LinkWaitStatus};
+        let rep = BlockedReport {
+            msg: MsgId { sender: 1, seq: 3 },
+            arrived_at: simnet::time::SimTime::ZERO,
+            waits: Vec::new(),
+            link_waits: vec![LinkWait {
+                from: 2,
+                pos: 7,
+                status: LinkWaitStatus::Severed,
+            }],
+        };
+        let mut out = String::new();
+        render_reports(&mut out, 0, &[rep], false, None);
+        assert!(out.contains("link p2 pos 7 — link severed"), "{out}");
+        // A positional wait is a wait: the "nothing blocks it" line must
+        // not appear.
+        assert!(!out.contains("nothing —"), "{out}");
+    }
+
+    #[test]
+    fn pccast_explainer_runs_and_is_deterministic() {
+        let out = run_d(2, None, BugKnobs::default(), CausalDiscipline::Pccast);
+        assert!(out.contains("(pccast)"), "{out}");
+        assert_eq!(
+            out,
+            run_d(2, None, BugKnobs::default(), CausalDiscipline::Pccast)
+        );
+    }
+
+    /// With the wedged flush injected, asking about the frozen chain root
+    /// names the stall component it is tied to and renders its path.
+    #[test]
+    fn wedged_flush_msg_is_tied_to_its_stall_component() {
+        let knobs = BugKnobs {
+            no_flush_retry: true,
+            ..BugKnobs::default()
+        };
+        let out = run(2, Some(MsgId { sender: 4, seq: 34 }), knobs);
+        assert!(out.contains("stall component #"), "{out}");
+        assert!(out.contains("flush@P"), "{out}");
     }
 
     #[test]

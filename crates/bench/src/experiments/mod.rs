@@ -22,6 +22,7 @@ pub mod t7;
 pub mod t7plus;
 pub mod t8;
 pub mod t9;
+pub mod waitgraph;
 
 use crate::table::Table;
 

@@ -247,6 +247,13 @@ pub struct PcPoint {
 /// the per-link analogue of the cbcast observer's reversed arrival —
 /// so every copy sits in a reorder buffer before the cursor sweeps it.
 pub fn measure_pccast(n: usize) -> PcPoint {
+    measure_pccast_with_probe(n, ProbeHandle::none())
+}
+
+/// Like [`measure_pccast`], with an observability probe attached to
+/// every endpoint. Probes are read-only: a probed run measures exactly
+/// like an unprobed run.
+pub fn measure_pccast_with_probe(n: usize, probe: ProbeHandle) -> PcPoint {
     assert!(n >= 2, "need at least a sender and an observer");
     let active = ACTIVE_CAP.min(n - 1);
     let total = n.clamp(32, TOTAL_CAP);
@@ -259,6 +266,9 @@ pub fn measure_pccast(n: usize) -> PcPoint {
     let mut senders: Vec<PccastEndpoint<u64>> = (0..active)
         .map(|i| PccastEndpoint::new(i, n, cfg.clone()))
         .collect();
+    for s in &mut senders {
+        s.set_probe(probe.clone());
+    }
 
     // Phase 1: round-robin multicasts, relayed to quiescence among the
     // senders before the next send (one global causal chain, as in the
@@ -293,6 +303,7 @@ pub fn measure_pccast(n: usize) -> PcPoint {
     // The stream is complete (no loss), so no NACK service is needed:
     // every stalled link head resolves when the earlier positions land.
     let mut observer = PccastEndpoint::<u64>::new(observer_id, n, cfg);
+    observer.set_probe(probe);
     let mut at = total as u64;
     let mut hold_hist = Histogram::new();
     let mut wire_events = 0u64;
@@ -341,6 +352,30 @@ pub fn measure_pccast(n: usize) -> PcPoint {
 pub fn perfetto(n: usize, indexed: bool, delta: bool) -> String {
     let (probe, rec) = ProbeHandle::recorder(8192);
     measure_with_probe(n, indexed, delta, probe);
+    let active = ACTIVE_CAP.min(n - 1);
+    let names: Vec<String> = (0..n)
+        .map(|p| {
+            if p == n - 1 {
+                "observer".to_string()
+            } else if p < active {
+                format!("sender{p}")
+            } else {
+                "idle".to_string()
+            }
+        })
+        .collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let rec = rec.borrow();
+    perfetto_json(None, Some(&rec), n, &refs)
+}
+
+/// [`perfetto`] for the constant-metadata discipline: the same sparse
+/// workload over pccast's overlay links, with reorder-buffer residence
+/// as held slices, link ack/skip/repair phases, and send→wire flow
+/// arrows — trace parity with the cbcast export.
+pub fn perfetto_pccast(n: usize) -> String {
+    let (probe, rec) = ProbeHandle::recorder(8192);
+    measure_pccast_with_probe(n, probe);
     let active = ACTIVE_CAP.min(n - 1);
     let names: Vec<String> = (0..n)
         .map(|p| {
@@ -576,5 +611,51 @@ mod tests {
         // The observer and at least one sender left events.
         assert!(pids.contains(&7), "observer track missing: {pids:?}");
         assert!(pids.contains(&0), "sender track missing: {pids:?}");
+    }
+
+    #[test]
+    fn probed_pccast_measurement_is_identical() {
+        let plain = measure_pccast(16);
+        let (probe, _rec) = ProbeHandle::recorder(256);
+        let probed = measure_pccast_with_probe(16, probe);
+        assert_eq!(format!("{plain:?}"), format!("{probed:?}"));
+    }
+
+    /// Trace parity for the constant-metadata discipline: the export
+    /// parses, carries reorder-buffer residence slices from the reversed
+    /// observer links, and flow arrows from each send to its wire
+    /// arrival.
+    #[test]
+    fn pccast_perfetto_export_is_structurally_valid() {
+        use simnet::json::JsonValue;
+        let out = perfetto_pccast(8);
+        let doc = JsonValue::parse(&out).expect("pccast perfetto output parses");
+        let events = doc
+            .get("traceEvents")
+            .and_then(JsonValue::as_arr)
+            .expect("traceEvents array");
+        assert!(!events.is_empty());
+        let mut reorder_slices = 0u64;
+        let mut flow_starts = 0u64;
+        let mut flow_ends = 0u64;
+        for ev in events {
+            let ph = ev.get("ph").and_then(JsonValue::as_str).expect("ph");
+            assert!(
+                ["M", "X", "B", "E", "s", "f", "i"].contains(&ph),
+                "unexpected phase {ph}"
+            );
+            let name = ev.get("name").and_then(JsonValue::as_str).unwrap_or("");
+            if name.contains("reorder") {
+                reorder_slices += 1;
+            }
+            match ph {
+                "s" => flow_starts += 1,
+                "f" => flow_ends += 1,
+                _ => {}
+            }
+        }
+        assert!(reorder_slices > 0, "no reorder-buffer slices in the trace");
+        assert!(flow_starts > 0, "no send→wire flow arrows started");
+        assert!(flow_ends > 0, "no send→wire flow arrows finished");
     }
 }

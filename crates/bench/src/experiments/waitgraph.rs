@@ -1,0 +1,142 @@
+//! `experiments waitgraph` — ranked stall report from the live
+//! wait-graph analytics.
+//!
+//! Re-runs one chaos seed (optionally with an injected bug knob, in
+//! either causal discipline) and prints the wait-graph analysis sampled
+//! on the 50 ms telemetry cadence: every candidate stall — a genuine
+//! wait cycle or a wedge head the rest of the graph drains into — ranked
+//! by severity (worst wait age × blocked descendants × processes
+//! involved × persistence), each with a representative path through the
+//! graph. `--at MS` selects the snapshot at or before that virtual time;
+//! the default is the final snapshot at the horizon.
+
+use crate::experiments::chaos;
+use catocs::group::CausalDiscipline;
+use catocs::vsync::BugKnobs;
+use simnet::time::SimTime;
+use std::fmt::Write as _;
+
+/// Builds the report for one seed. Runs the indexed-holdback /
+/// delta-timestamp cell, like `explain`.
+pub fn run(seed: u64, at_ms: Option<u64>, knobs: BugKnobs, discipline: CausalDiscipline) -> String {
+    let n = chaos::size_for_seed(seed);
+    let r = chaos::run_seed_d(seed, true, true, knobs, discipline);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "WAITGRAPH — seed {seed}, n={n}, indexed holdback, delta timestamps ({})",
+        discipline.name()
+    );
+    if !r.violations.is_empty() {
+        let _ = writeln!(out, "violations: {}", r.violations.len());
+    }
+    let Some((idx, (at, snap))) = (match at_ms {
+        Some(ms) => {
+            let want = SimTime::from_millis(ms);
+            r.stall_timeline
+                .iter()
+                .enumerate()
+                .take_while(|(_, (t, _))| *t <= want)
+                .last()
+                .or_else(|| r.stall_timeline.iter().enumerate().next())
+        }
+        None => r.stall_timeline.iter().enumerate().next_back(),
+    }) else {
+        let _ = writeln!(out, "no wait-graph snapshots were taken (empty run)");
+        return out;
+    };
+    let _ = writeln!(
+        out,
+        "snapshot {}/{} at {} ms: {} stall candidate(s), max wait age {} ms, worst cycle {} node(s)",
+        idx + 1,
+        r.stall_timeline.len(),
+        at.as_micros() / 1000,
+        snap.stalls.len(),
+        snap.max_age.as_millis_f64(),
+        snap.worst_scc_size
+    );
+    if snap.stalls.is_empty() {
+        let _ = writeln!(out, "no stalls: every blocked wait is draining");
+        return out;
+    }
+    for (i, s) in snap.stalls.iter().enumerate() {
+        let _ = writeln!(out, "#{} {}", i + 1, s.summary());
+        let _ = writeln!(out, "   path: {}", s.render_path());
+    }
+    let persistent = snap.persistent().count();
+    let _ = writeln!(
+        out,
+        "{persistent} persistent (seen on {}+ consecutive snapshots), {} transient",
+        catocs::waitgraph::PERSIST_SNAPSHOTS,
+        snap.stalls.len() - persistent
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The acceptance scenario: the injected wedged flush must surface
+    /// as the top-ranked stall, with a path naming the flush phase of
+    /// the suspected coordinator.
+    #[test]
+    fn wedged_flush_ranks_the_flush_cycle_first() {
+        let knobs = BugKnobs {
+            no_flush_retry: true,
+            ..BugKnobs::default()
+        };
+        let out = run(2, None, knobs, CausalDiscipline::Cbcast);
+        let first = out
+            .lines()
+            .find(|l| l.starts_with("#1 "))
+            .expect("a ranked stall");
+        assert!(first.contains("cycle"), "{out}");
+        let path = out
+            .lines()
+            .find(|l| l.trim_start().starts_with("path:"))
+            .expect("a rendered path");
+        assert!(path.contains("flush@P"), "{out}");
+    }
+
+    /// Clean campaigns can end with persistent *wedges* (a
+    /// partition-blocked run chases messages that will never arrive) but
+    /// never a genuine wait cycle.
+    #[test]
+    fn clean_seed_reports_no_wait_cycle() {
+        let out = run(0, None, BugKnobs::default(), CausalDiscipline::Cbcast);
+        assert!(out.contains("worst cycle 0 node(s)"), "{out}");
+        assert!(!out.contains("cycle ["), "{out}");
+    }
+
+    #[test]
+    fn at_selects_an_earlier_snapshot() {
+        let knobs = BugKnobs {
+            no_flush_retry: true,
+            ..BugKnobs::default()
+        };
+        let early = run(2, Some(0), knobs, CausalDiscipline::Cbcast);
+        assert!(early.contains("snapshot 1/"), "{early}");
+        let late = run(2, None, knobs, CausalDiscipline::Cbcast);
+        assert_ne!(early, late);
+    }
+
+    #[test]
+    fn output_is_deterministic_across_reruns() {
+        let knobs = BugKnobs {
+            no_flush_retry: true,
+            ..BugKnobs::default()
+        };
+        assert_eq!(
+            run(2, None, knobs, CausalDiscipline::Cbcast),
+            run(2, None, knobs, CausalDiscipline::Cbcast)
+        );
+    }
+
+    #[test]
+    fn pccast_discipline_is_covered() {
+        let out = run(1, None, BugKnobs::default(), CausalDiscipline::Pccast);
+        assert!(out.contains("(pccast)"), "{out}");
+        assert!(out.contains("snapshot "), "{out}");
+    }
+}

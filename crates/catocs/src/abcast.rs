@@ -111,6 +111,53 @@ impl<P: Clone> AbcastEndpoint<P> {
         emit("abcast.unreleased", self.unreleased.len() as f64);
     }
 
+    /// Contributes this endpoint's live blocking edges to a wait-graph
+    /// snapshot (read-only; see [`crate::waitgraph`]): the causal
+    /// substrate's edges, plus the total-order waits layered on top — a
+    /// causally delivered message awaiting release blocks either on the
+    /// sequencer's order assignment or on the data for the next global
+    /// slot.
+    pub fn wait_edges(&self, out: &mut Vec<crate::waitgraph::WaitEdge>) {
+        use crate::waitgraph::{PhaseTag, WaitEdge, WaitNode};
+        self.cb.wait_edges(out);
+        let me = self.cb.me();
+        let next_slot = self.released + 1;
+        let mut pending: Vec<(&MsgId, &Delivery<P>)> = self.unreleased.iter().collect();
+        pending.sort_by_key(|(id, _)| **id);
+        for (id, d) in pending {
+            let (to, reason) = if !self.ordered.contains_key(id) {
+                (
+                    WaitNode::Phase {
+                        kind: PhaseTag::OrderAssign,
+                        at: self.sequencer,
+                    },
+                    "awaiting order assignment",
+                )
+            } else {
+                match self.order.get(&next_slot) {
+                    Some(&slot_id) if slot_id != *id => (
+                        WaitNode::Msg(slot_id),
+                        "next total-order slot's data not arrived",
+                    ),
+                    _ => (
+                        WaitNode::Phase {
+                            kind: PhaseTag::OrderAssign,
+                            at: self.sequencer,
+                        },
+                        "total-order gap before this slot",
+                    ),
+                }
+            };
+            out.push(WaitEdge {
+                from: WaitNode::Msg(*id),
+                to,
+                who: me,
+                since: d.arrived_at,
+                reason,
+            });
+        }
+    }
+
     /// Multicasts `payload`. Unlike cbcast there is no immediate
     /// self-delivery: the message is released when its global order slot
     /// comes up (immediately only at the sequencer).

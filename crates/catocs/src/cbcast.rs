@@ -91,9 +91,48 @@ pub struct WaitCause {
     pub status: WaitStatus,
 }
 
-/// A message stuck in the holdback queue and everything it waits on —
-/// produced by [`CbcastEndpoint::blocked_report`] for the
-/// `experiments explain` CLI.
+/// Why a pccast per-link reorder position has not been consumed — the
+/// link-level analogue of [`WaitStatus`]. pccast copies carry constant
+/// metadata, so an absent position has no known message id; the wait can
+/// only name the link and slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkWaitStatus {
+    /// Nothing has arrived at the position (ARQ gap — a retransmission
+    /// is owed by the link sender).
+    Gap,
+    /// A skip marker occupies the position but has not been consumed
+    /// yet; the copy will arrive by another route.
+    SkipPending,
+    /// The link's sender is dead or evicted: the position can never be
+    /// filled on this link; only a view change clears it.
+    Severed,
+}
+
+impl std::fmt::Display for LinkWaitStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkWaitStatus::Gap => write!(f, "nothing arrived (ARQ gap, awaiting retransmit)"),
+            LinkWaitStatus::SkipPending => write!(f, "skip marker pending consumption"),
+            LinkWaitStatus::Severed => write!(f, "link severed (sender dead or evicted)"),
+        }
+    }
+}
+
+/// A per-link reorder-cursor wait of a pccast blocked message: which
+/// incoming link, which position, and why it is empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkWait {
+    /// The peer whose incoming link the wait is on.
+    pub from: usize,
+    /// The link position the reorder cursor waits for.
+    pub pos: u64,
+    /// Why that position is unfilled.
+    pub status: LinkWaitStatus,
+}
+
+/// A message stuck in the holdback queue (or, for pccast, a per-link
+/// reorder buffer) and everything it waits on — produced by
+/// [`CbcastEndpoint::blocked_report`] for the `experiments explain` CLI.
 #[derive(Debug, Clone)]
 pub struct BlockedReport {
     /// The blocked message.
@@ -102,6 +141,22 @@ pub struct BlockedReport {
     pub arrived_at: SimTime,
     /// Every undelivered causal predecessor, in (sender, seq) order.
     pub waits: Vec<WaitCause>,
+    /// pccast only: positional waits on per-link reorder cursors (empty
+    /// for cbcast, whose holdback waits are always message-identified).
+    pub link_waits: Vec<LinkWait>,
+}
+
+/// Static wait-edge reason for a predecessor's [`WaitStatus`] (the
+/// specifics — cut values, referencing members — live in the nodes and
+/// the full [`BlockedReport`]).
+pub(crate) fn wait_reason(status: WaitStatus) -> &'static str {
+    match status {
+        WaitStatus::HeldHere => "predecessor held here too",
+        WaitStatus::Parked => "predecessor parked (delta undecodable)",
+        WaitStatus::Chased { .. } => "predecessor missing, chased via NACK",
+        WaitStatus::NeverDeliverable { .. } => "predecessor never deliverable (beyond cut)",
+        WaitStatus::Unknown => "predecessor not yet observed",
+    }
 }
 
 /// Tracking for a message we know exists but have not received.
@@ -394,6 +449,7 @@ impl<P: Clone> CbcastEndpoint<P> {
                     msg: p.msg.id,
                     arrived_at: p.arrived_at,
                     waits,
+                    link_waits: Vec::new(),
                 }
             })
             .collect();
@@ -401,6 +457,55 @@ impl<P: Clone> CbcastEndpoint<P> {
         // deterministic output.
         reports.sort_by_key(|r| r.msg);
         reports
+    }
+
+    /// Contributes this endpoint's blocking edges to the live wait graph
+    /// ([`crate::waitgraph`]): one `Msg -> Msg` edge per undelivered
+    /// causal predecessor of every held message, plus `Msg -> Proc(me)`
+    /// while delivery is frozen by a flush (the flush itself is linked
+    /// onward by the membership layer). Read-only and
+    /// work-counter-neutral, like [`CbcastEndpoint::blocked_report`].
+    pub fn wait_edges(&self, out: &mut Vec<crate::waitgraph::WaitEdge>) {
+        use crate::waitgraph::{WaitEdge, WaitNode};
+        // Sorted for determinism: the indexed holdback iterates in hash
+        // order. One edge per lagging sender — the *first* gap is the
+        // FIFO blocker everything deeper queues behind; enumerating every
+        // gap (as `blocked_report` does for the one-shot post-mortem)
+        // would square the edge count on the sampling hot path.
+        let mut pending: Vec<_> = self.holdback.pending().collect();
+        pending.sort_unstable_by_key(|p| p.msg.id);
+        for p in pending {
+            let blocked = WaitNode::Msg(p.msg.id);
+            for k in 0..self.n {
+                let need = if k == p.msg.id.sender {
+                    p.msg.id.seq.saturating_sub(1)
+                } else {
+                    p.msg.vt.get(k)
+                };
+                if need > self.vt.get(k) {
+                    let gap = MsgId {
+                        sender: k,
+                        seq: self.vt.get(k) + 1,
+                    };
+                    out.push(WaitEdge {
+                        from: blocked,
+                        to: WaitNode::Msg(gap),
+                        who: self.me,
+                        since: p.arrived_at,
+                        reason: wait_reason(self.classify_wait(gap)),
+                    });
+                }
+            }
+            if self.frozen {
+                out.push(WaitEdge {
+                    from: blocked,
+                    to: WaitNode::Proc(self.me),
+                    who: self.me,
+                    since: p.arrived_at,
+                    reason: "delivery frozen by flush",
+                });
+            }
+        }
     }
 
     fn classify_wait(&self, id: MsgId) -> WaitStatus {

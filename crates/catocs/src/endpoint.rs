@@ -204,6 +204,24 @@ impl<P: Clone> CausalEndpoint<P> {
         }
     }
 
+    /// Contributes this endpoint's live blocking edges to a wait-graph
+    /// snapshot (read-only; see [`crate::waitgraph`]).
+    pub fn wait_edges(&self, out: &mut Vec<crate::waitgraph::WaitEdge>) {
+        match self {
+            CausalEndpoint::Cbcast(e) => e.wait_edges(out),
+            CausalEndpoint::Pccast(e) => e.wait_edges(out),
+        }
+    }
+
+    /// Resolves a link-slot position against the sender-side ARQ log;
+    /// only meaningful for pccast (cbcast has no links).
+    pub fn link_log_lookup(&self, to: usize, seq: u64) -> Option<crate::group::MsgId> {
+        match self {
+            CausalEndpoint::Cbcast(_) => None,
+            CausalEndpoint::Pccast(e) => e.link_log_lookup(to, seq),
+        }
+    }
+
     /// Applies an installed view. `view_id` is the installed view's id —
     /// pccast uses it as the link epoch; cbcast does not need it.
     /// Returns thawed deliveries plus any outbound messages (pccast must
@@ -377,6 +395,19 @@ impl<P: Clone> Endpoint<P> {
             Endpoint::Causal(e) => e.sample(emit),
             Endpoint::Total(e) => e.sample(emit),
             Endpoint::TotalToken(e) => e.sample(emit),
+        }
+    }
+
+    /// Contributes this endpoint's live blocking edges to a wait-graph
+    /// snapshot (read-only; see [`crate::waitgraph`]). `now` stands in
+    /// for waits whose start time is not recorded (a token pass not yet
+    /// resent); all other edges carry their own arrival times.
+    pub fn wait_edges(&self, now: SimTime, out: &mut Vec<crate::waitgraph::WaitEdge>) {
+        match self {
+            Endpoint::Fifo(e) => e.wait_edges(out),
+            Endpoint::Causal(e) => e.wait_edges(out),
+            Endpoint::Total(e) => e.wait_edges(out),
+            Endpoint::TotalToken(e) => e.wait_edges(now, out),
         }
     }
 

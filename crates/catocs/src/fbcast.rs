@@ -93,6 +93,33 @@ impl<P: Clone> FbcastEndpoint<P> {
         );
     }
 
+    /// Contributes this endpoint's live blocking edges to a wait-graph
+    /// snapshot (read-only; see [`crate::waitgraph`]): an out-of-order
+    /// arrival blocks on the sender's next undelivered sequence (an ARQ
+    /// gap chased via NACK). FIFO has no cross-sender holdback, so these
+    /// are the only blocking edges it can contribute.
+    pub fn wait_edges(&self, out: &mut Vec<crate::waitgraph::WaitEdge>) {
+        use crate::waitgraph::{WaitEdge, WaitNode};
+        for (sender, s) in self.streams.iter().enumerate() {
+            let gap = MsgId {
+                sender,
+                seq: s.delivered + 1,
+            };
+            for (&seq, (msg, arrived)) in &s.pending {
+                if seq == gap.seq {
+                    continue;
+                }
+                out.push(WaitEdge {
+                    from: WaitNode::Msg(msg.id),
+                    to: WaitNode::Msg(gap),
+                    who: self.me,
+                    since: *arrived,
+                    reason: "FIFO gap, awaiting retransmit",
+                });
+            }
+        }
+    }
+
     /// The per-sender delivered watermark, as a vector clock for
     /// compatibility with the stability machinery.
     pub fn delivered_clock(&self) -> VectorClock {

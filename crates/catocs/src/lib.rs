@@ -55,6 +55,7 @@ pub mod safety;
 pub mod stability;
 pub mod token;
 pub mod vsync;
+pub mod waitgraph;
 pub mod wire;
 
 pub use cbcast::CbcastEndpoint;

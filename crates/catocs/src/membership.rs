@@ -88,6 +88,20 @@ pub struct MembershipStats {
     pub last_blackout: SimDuration,
 }
 
+/// What an in-progress flush is waiting on, as seen at one member — the
+/// membership layer's contribution to the wait graph
+/// ([`crate::waitgraph`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlushWaits {
+    /// The coordinator of the proposal being flushed toward.
+    pub coordinator: usize,
+    /// When this member entered the flush.
+    pub since: SimTime,
+    /// Proposal members whose `FlushOk` the coordinator still lacks.
+    /// Empty at non-coordinators (only the coordinator tracks acks).
+    pub missing_acks: Vec<usize>,
+}
+
 #[derive(Debug)]
 enum Phase {
     Normal,
@@ -168,6 +182,40 @@ impl MembershipEngine {
     /// The coordinator of a view: its lowest member index.
     fn coordinator_of(view: &View) -> usize {
         view.members.iter().map(|p| p.0).min().unwrap_or(0)
+    }
+
+    /// Live view of an in-progress flush, for the wait-graph collector:
+    /// who coordinates it, when it began at this member, and — at the
+    /// coordinator only, since only it tracks acks — which proposal
+    /// members have not sent their `FlushOk` yet. `None` in
+    /// [`Phase::Normal`]. Read-only.
+    pub fn flush_waits(&self) -> Option<FlushWaits> {
+        match &self.phase {
+            Phase::Normal => None,
+            Phase::Flushing {
+                proposed,
+                acks,
+                since,
+                ..
+            } => {
+                let coordinator = Self::coordinator_of(proposed);
+                let missing_acks = if coordinator == self.me {
+                    proposed
+                        .members
+                        .iter()
+                        .map(|p| p.0)
+                        .filter(|m| !acks.contains_key(m))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                Some(FlushWaits {
+                    coordinator,
+                    since: *since,
+                    missing_acks,
+                })
+            }
+        }
     }
 
     /// Whether this member coordinates the current (or proposed) view.

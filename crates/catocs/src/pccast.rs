@@ -55,7 +55,7 @@
 //! timestamp kept alongside for NACK repair is cold-path bookkeeping,
 //! not hot-path wire state.
 
-use crate::cbcast::{BlockedReport, WaitCause, WaitStatus};
+use crate::cbcast::{BlockedReport, LinkWait, LinkWaitStatus, WaitCause, WaitStatus};
 use crate::group::{GroupConfig, MsgId};
 use crate::holdback::{HoldbackQueue, Pending};
 use crate::stability::StabilityTracker;
@@ -304,39 +304,83 @@ impl<P: Clone> PccastEndpoint<P> {
         emit("pccast.stability_lag", self.stability_lag() as f64);
     }
 
-    /// Blocked-on explanation for the repair path, mirroring
-    /// [`crate::cbcast::CbcastEndpoint::blocked_report`]. Fast-path link
-    /// copies carry no causal references, so only holdback entries (which
-    /// arrived with full timestamps) can be explained.
+    /// Blocked-on explanation, mirroring
+    /// [`crate::cbcast::CbcastEndpoint::blocked_report`] for the repair
+    /// path, plus the pccast fast path: data copies parked in a per-link
+    /// reorder buffer report the link position they wait behind (gap
+    /// awaiting retransmit, skip marker pending, or severed link), and a
+    /// stalled link *head* reports the origin-FIFO predecessors the link
+    /// could not vouch for.
     pub fn blocked_report(&self) -> Vec<BlockedReport> {
-        let mut reports: Vec<BlockedReport> = self
-            .holdback
-            .pending()
-            .map(|p| {
-                let mut waits = Vec::new();
-                for k in 0..self.n {
-                    let need = if k == p.msg.id.sender {
-                        p.msg.id.seq.saturating_sub(1)
+        let mut by_msg: BTreeMap<MsgId, BlockedReport> = BTreeMap::new();
+        for p in self.holdback.pending() {
+            let mut waits = Vec::new();
+            for k in 0..self.n {
+                let need = if k == p.msg.id.sender {
+                    p.msg.id.seq.saturating_sub(1)
+                } else {
+                    p.msg.vt.get(k)
+                };
+                for seq in (self.vt.get(k) + 1)..=need {
+                    let id = MsgId { sender: k, seq };
+                    waits.push(WaitCause {
+                        id,
+                        status: self.classify_wait(id),
+                    });
+                }
+            }
+            by_msg.insert(
+                p.msg.id,
+                BlockedReport {
+                    msg: p.msg.id,
+                    arrived_at: p.arrived_at,
+                    waits,
+                    link_waits: Vec::new(),
+                },
+            );
+        }
+        for (&peer, link) in &self.links_in {
+            let head = link.cursor + 1;
+            for (&pos, copy) in &link.buf {
+                let LinkCopy::Data(at, msg) = copy else {
+                    continue;
+                };
+                if msg.id.seq <= self.vt.get(msg.id.sender) {
+                    // A duplicate awaiting consumption, not a blocked one.
+                    continue;
+                }
+                let entry = by_msg.entry(msg.id).or_insert_with(|| BlockedReport {
+                    msg: msg.id,
+                    arrived_at: *at,
+                    waits: Vec::new(),
+                    link_waits: Vec::new(),
+                });
+                if pos > head {
+                    let status = if !self.alive[peer] {
+                        LinkWaitStatus::Severed
+                    } else if matches!(link.buf.get(&head), Some(LinkCopy::Skip(_))) {
+                        LinkWaitStatus::SkipPending
                     } else {
-                        p.msg.vt.get(k)
+                        LinkWaitStatus::Gap
                     };
-                    for seq in (self.vt.get(k) + 1)..=need {
-                        let id = MsgId { sender: k, seq };
-                        waits.push(WaitCause {
+                    entry.link_waits.push(LinkWait {
+                        from: peer,
+                        pos: head,
+                        status,
+                    });
+                } else if entry.waits.is_empty() {
+                    let o = msg.id.sender;
+                    for seq in (self.vt.get(o) + 1)..msg.id.seq {
+                        let id = MsgId { sender: o, seq };
+                        entry.waits.push(WaitCause {
                             id,
                             status: self.classify_wait(id),
                         });
                     }
                 }
-                BlockedReport {
-                    msg: p.msg.id,
-                    arrived_at: p.arrived_at,
-                    waits,
-                }
-            })
-            .collect();
-        reports.sort_by_key(|r| r.msg);
-        reports
+            }
+        }
+        by_msg.into_values().collect()
     }
 
     fn classify_wait(&self, id: MsgId) -> WaitStatus {
@@ -353,6 +397,118 @@ impl<P: Clone> PccastEndpoint<P> {
         } else {
             WaitStatus::Unknown
         }
+    }
+
+    /// Contributes this endpoint's live blocking edges to a wait-graph
+    /// snapshot (read-only; see [`crate::waitgraph`]). Repair-path
+    /// entries block on their causal predecessors exactly as in
+    /// [`crate::cbcast::CbcastEndpoint::wait_edges`]; fast-path copies
+    /// parked behind a link-reorder gap block on a
+    /// [`crate::waitgraph::WaitNode::LinkSlot`] that the collector
+    /// resolves against the sender side's ARQ log
+    /// ([`Self::link_log_lookup`]).
+    pub fn wait_edges(&self, out: &mut Vec<crate::waitgraph::WaitEdge>) {
+        use crate::waitgraph::{WaitEdge, WaitNode};
+        // Sorted for determinism; one edge per lagging sender (the first
+        // gap), mirroring the cbcast rationale.
+        let mut pending: Vec<_> = self.holdback.pending().collect();
+        pending.sort_unstable_by_key(|p| p.msg.id);
+        for p in pending {
+            let from = WaitNode::Msg(p.msg.id);
+            for k in 0..self.n {
+                let need = if k == p.msg.id.sender {
+                    p.msg.id.seq.saturating_sub(1)
+                } else {
+                    p.msg.vt.get(k)
+                };
+                if need > self.vt.get(k) {
+                    let gap = MsgId {
+                        sender: k,
+                        seq: self.vt.get(k) + 1,
+                    };
+                    out.push(WaitEdge {
+                        from,
+                        to: WaitNode::Msg(gap),
+                        who: self.me,
+                        since: p.arrived_at,
+                        reason: crate::cbcast::wait_reason(self.classify_wait(gap)),
+                    });
+                }
+            }
+            if self.frozen {
+                out.push(WaitEdge {
+                    from,
+                    to: WaitNode::Proc(self.me),
+                    who: self.me,
+                    since: p.arrived_at,
+                    reason: "delivery frozen by flush",
+                });
+            }
+        }
+        for (&peer, link) in &self.links_in {
+            let head = link.cursor + 1;
+            for (&pos, copy) in &link.buf {
+                let LinkCopy::Data(at, msg) = copy else {
+                    continue;
+                };
+                if msg.id.seq <= self.vt.get(msg.id.sender) {
+                    continue;
+                }
+                let from = WaitNode::Msg(msg.id);
+                if pos > head {
+                    out.push(WaitEdge {
+                        from,
+                        to: WaitNode::LinkSlot {
+                            to: self.me,
+                            from: peer,
+                            seq: head,
+                        },
+                        who: self.me,
+                        since: *at,
+                        reason: "link reorder gap",
+                    });
+                } else if self.frozen {
+                    out.push(WaitEdge {
+                        from,
+                        to: WaitNode::Proc(self.me),
+                        who: self.me,
+                        since: *at,
+                        reason: "delivery frozen by flush",
+                    });
+                } else if !self.barrier_met {
+                    out.push(WaitEdge {
+                        from,
+                        to: WaitNode::Proc(self.me),
+                        who: self.me,
+                        since: *at,
+                        reason: "fast path barred until flush cut reached",
+                    });
+                } else {
+                    let o = msg.id.sender;
+                    let id = MsgId {
+                        sender: o,
+                        seq: self.vt.get(o) + 1,
+                    };
+                    if id != msg.id {
+                        out.push(WaitEdge {
+                            from,
+                            to: WaitNode::Msg(id),
+                            who: self.me,
+                            since: *at,
+                            reason: crate::cbcast::wait_reason(self.classify_wait(id)),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resolves a link-slot position against this sender's ARQ window:
+    /// which message occupies sequence `seq` on the outgoing link to
+    /// `to`. `None` once acked away (or never sent) — the wait-graph
+    /// collector keeps the raw slot node in that case.
+    pub fn link_log_lookup(&self, to: usize, seq: u64) -> Option<MsgId> {
+        self.links_out.get(&to)?.log.get(&seq).copied()
     }
 
     /// The overlay neighbours of this member: predecessor and successor
@@ -673,6 +829,15 @@ impl<P: Clone> PccastEndpoint<P> {
             return;
         };
         link.log = link.log.split_off(&(acked + 1));
+        let outstanding = link.log.len();
+        self.probe.emit(|| ObsEvent::Phase {
+            at: now,
+            who: self.me,
+            kind: PhaseKind::LinkAck,
+            edge: PhaseEdge::Point,
+            note: format!("p{from} acked {acked}, {outstanding} outstanding"),
+        });
+        let link = self.links_out.get_mut(&from).expect("link exists");
         if link.log.is_empty() {
             return;
         }
@@ -772,9 +937,21 @@ impl<P: Clone> PccastEndpoint<P> {
                     });
                     return;
                 }
+                let span = span_of(msg.id);
                 let link = self.links_in.entry(from).or_insert_with(InLink::new);
                 if link_seq > link.cursor {
+                    let cursor = link.cursor;
+                    let fresh = !link.buf.contains_key(&link_seq);
                     link.buf.entry(link_seq).or_insert(LinkCopy::Data(now, msg));
+                    if fresh {
+                        self.probe.emit(|| ObsEvent::Span {
+                            at: now,
+                            who: self.me,
+                            span,
+                            stage: Stage::ReorderEnter,
+                            note: format!("link p{from} pos {link_seq}, cursor {cursor}"),
+                        });
+                    }
                 } else {
                     self.stats.duplicates += 1;
                 }
@@ -966,8 +1143,17 @@ impl<P: Clone> PccastEndpoint<P> {
                 match head_action {
                     HeadAction::Stop => break,
                     HeadAction::Consume => {
-                        link.buf.remove(&next);
+                        let removed = link.buf.remove(&next);
                         link.cursor = next;
+                        if let Some(LinkCopy::Skip(id)) = removed {
+                            self.probe.emit(|| ObsEvent::Span {
+                                at: now,
+                                who: self.me,
+                                span: span_of(id),
+                                stage: Stage::SkipConsume,
+                                note: format!("link p{peer} pos {next}"),
+                            });
+                        }
                         any = true;
                     }
                     HeadAction::ConsumeDup => {

@@ -114,6 +114,57 @@ impl<P: Clone> TokenAbcastEndpoint<P> {
         emit("token.sent_buffer", self.sent.len() as f64);
     }
 
+    /// Contributes this endpoint's live blocking edges to a wait-graph
+    /// snapshot (read-only; see [`crate::waitgraph`]): submissions
+    /// queued without the token block the process on its token-rotation
+    /// phase, an unacknowledged token pass blocks that phase on the
+    /// receiver (a lost token halts the whole order), and buffered data
+    /// beyond a delivery gap blocks on the rotation that fills it.
+    /// `now` stands in for a pass that has not been (re)sent yet.
+    pub fn wait_edges(&self, now: SimTime, out: &mut Vec<crate::waitgraph::WaitEdge>) {
+        use crate::waitgraph::{PhaseTag, WaitEdge, WaitNode};
+        let rotation = WaitNode::Phase {
+            kind: PhaseTag::TokenRotation,
+            at: self.me,
+        };
+        if !self.holding {
+            if let Some((_, submitted)) = self.pending_submit.front() {
+                out.push(WaitEdge {
+                    from: WaitNode::Proc(self.me),
+                    to: rotation,
+                    who: self.me,
+                    since: *submitted,
+                    reason: "submits queued awaiting token",
+                });
+            }
+        }
+        if let Some((receiver, _, _, last_send)) = self.unacked_pass {
+            out.push(WaitEdge {
+                from: rotation,
+                to: WaitNode::Proc(receiver),
+                who: self.me,
+                since: if last_send == SimTime::ZERO {
+                    now
+                } else {
+                    last_send
+                },
+                reason: "token pass unacknowledged",
+            });
+        }
+        for (&gseq, (msg, arrived)) in self.by_gseq.range(self.next_deliver + 1..) {
+            if gseq == self.next_deliver + 1 {
+                continue; // deliverable on the next event, not blocked
+            }
+            out.push(WaitEdge {
+                from: WaitNode::Msg(msg.id),
+                to: rotation,
+                who: self.me,
+                since: *arrived,
+                reason: "total-order gap before this slot",
+            });
+        }
+    }
+
     /// Submits `payload` for totally ordered multicast. If the token is
     /// held, the message goes out (and may deliver) immediately;
     /// otherwise it queues until the token arrives.

@@ -40,6 +40,7 @@ use crate::endpoint::CausalEndpoint;
 use crate::failure::FailureDetector;
 use crate::group::{GroupConfig, MsgId};
 use crate::membership::{FlushAction, MembershipEngine};
+use crate::waitgraph::{analyze, PhaseTag, StallSnapshot, StallTracker, WaitEdge, WaitNode};
 use crate::wire::{Dest, Out, Wire};
 use clocks::vector::VectorClock;
 use simnet::fault::{FaultPlan, FaultPlanConfig};
@@ -49,8 +50,11 @@ use simnet::obs::ProbeHandle;
 use simnet::process::{Ctx, Process, ProcessId, TimerId};
 use simnet::sim::SimBuilder;
 use simnet::time::{SimDuration, SimTime};
+use std::any::Any;
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::rc::Rc;
 
 /// One entry in a process's chronological event log.
 #[derive(Clone, Debug, PartialEq)]
@@ -516,10 +520,24 @@ pub struct CampaignResult {
     pub hold_hist: Histogram,
     /// Scheduler events processed by the run (deterministic work proxy).
     pub events_processed: u64,
+    /// Final wait-graph analysis: the last sampling snapshot before the
+    /// horizon, with its ranked stalls (see [`crate::waitgraph`]).
+    /// Informational — not folded into [`Self::digest`].
+    pub stalls: StallSnapshot,
+    /// Per-snapshot wait-graph analyses on the sampling cadence, for
+    /// `experiments waitgraph --at`. Informational — digest-excluded.
+    pub stall_timeline: Vec<(SimTime, StallSnapshot)>,
+    /// Wait-age distribution: at every sampling snapshot, each blocked
+    /// edge's age (µs) across the whole group. Informational —
+    /// digest-excluded, like [`Self::hold_hist`].
+    pub wait_hist: Histogram,
 }
 
 const TICK: TimerId = TimerId(0);
 const APP: TimerId = TimerId(1);
+/// Wait-graph sampling cadence: the same 50 ms the bench time-series
+/// use, so `stall.*` metrics line up with the other `ts.*` series.
+const SAMPLE_EVERY: SimDuration = SimDuration::from_millis(50);
 const TICK_EVERY: SimDuration = SimDuration::from_millis(10);
 const HEARTBEAT_EVERY: SimDuration = SimDuration::from_millis(20);
 const SUSPECT_AFTER: SimDuration = SimDuration::from_millis(100);
@@ -606,6 +624,40 @@ impl ChaosNode {
     /// post-run; campaigns merge these across the group).
     pub fn hold_histogram(&self) -> &Histogram {
         &self.hold_hist
+    }
+
+    /// Every blocking edge this node contributes to a wait-graph
+    /// snapshot: the endpoint's holdback and link-reorder waits, plus
+    /// the membership layer's flush barrier — any member mid-flush
+    /// blocks on the coordinator's flush phase, and at the coordinator
+    /// the phase itself blocks on each member whose FlushOk is missing.
+    /// Read-only and work-counter-neutral.
+    pub fn wait_edges(&self) -> Vec<WaitEdge> {
+        let mut edges = Vec::new();
+        self.endpoint.wait_edges(&mut edges);
+        if let Some(fw) = self.engine.flush_waits() {
+            let phase = WaitNode::Phase {
+                kind: PhaseTag::Flush,
+                at: fw.coordinator,
+            };
+            edges.push(WaitEdge {
+                from: WaitNode::Proc(self.me),
+                to: phase,
+                who: self.me,
+                since: fw.since,
+                reason: "mid-flush, delivery blacked out until install",
+            });
+            for q in fw.missing_acks {
+                edges.push(WaitEdge {
+                    from: phase,
+                    to: WaitNode::Proc(q),
+                    who: self.me,
+                    since: fw.since,
+                    reason: "FlushOk not received",
+                });
+            }
+        }
+        edges
     }
 
     fn route(&self, ctx: &mut Ctx<'_, Wire<u64>>, out: Vec<Out<u64>>) {
@@ -804,6 +856,53 @@ fn digest_logs(logs: &[ProcessLog]) -> u64 {
     d
 }
 
+/// Collects the whole group's wait edges at `at` — skipping crashed
+/// processes, whose stale holdback is not "blocked" — resolves pccast
+/// link-slot waits against the sender side's ARQ logs (only a global
+/// view can name the message occupying a constant-metadata link
+/// position), and analyses the merged graph. When `hist` is given,
+/// every blocked edge's age is recorded into it. Pure over `&self`
+/// views: calling this cannot perturb the run.
+pub fn snapshot_stalls(
+    at: SimTime,
+    procs: &[(&dyn Any, bool)],
+    tracker: &mut StallTracker,
+    hist: Option<&mut Histogram>,
+) -> StallSnapshot {
+    let nodes: Vec<Option<&ChaosNode>> = procs
+        .iter()
+        .map(|(p, alive)| {
+            if *alive {
+                p.downcast_ref::<ChaosNode>()
+            } else {
+                None
+            }
+        })
+        .collect();
+    let mut edges = Vec::new();
+    for node in nodes.iter().flatten() {
+        edges.extend(node.wait_edges());
+    }
+    for e in &mut edges {
+        if let WaitNode::LinkSlot { to, from, seq } = e.to {
+            if let Some(Some(sender)) = nodes.get(from) {
+                if let Some(id) = sender.endpoint.link_log_lookup(to, seq) {
+                    e.to = WaitNode::Msg(id);
+                }
+            }
+        }
+    }
+    // Deterministic analysis input regardless of per-endpoint iteration
+    // order (indexed holdbacks iterate in hash order).
+    edges.sort_by(|a, b| (a.from, a.to, a.since, a.reason).cmp(&(b.from, b.to, b.since, b.reason)));
+    if let Some(h) = hist {
+        for e in &edges {
+            h.record(at.saturating_since(e.since));
+        }
+    }
+    analyze(&edges, at, tracker)
+}
+
 /// Runs one seeded campaign: generate the fault plan, run the group
 /// under it, extract the logs, and check the invariants.
 pub fn run_campaign(seed: u64, cfg: &CampaignConfig) -> CampaignResult {
@@ -818,11 +917,35 @@ pub fn run_campaign_with(seed: u64, cfg: &CampaignConfig, probe: ProbeHandle) ->
     let plan = FaultPlan::generate(seed, cfg.n, &cfg.plan);
     let mut sim = SimBuilder::new(seed)
         .net(NetConfig::lossy_lan(cfg.drop_probability))
+        .sample_every(SAMPLE_EVERY)
         .build::<Wire<u64>>();
     for me in 0..cfg.n {
         sim.add_process(ChaosNode::with_probe(me, cfg, probe.clone()));
     }
     plan.apply(&mut sim);
+    // Live wait-graph analytics ride the sampling cadence: the hook sees
+    // every process read-only at each tick, so the run's digest cannot
+    // change (the determinism tests below pin this).
+    let tracker = Rc::new(RefCell::new(StallTracker::new()));
+    let wait_hist = Rc::new(RefCell::new(Histogram::new()));
+    let timeline: Rc<RefCell<Vec<(SimTime, StallSnapshot)>>> = Rc::new(RefCell::new(Vec::new()));
+    {
+        let tracker = Rc::clone(&tracker);
+        let wait_hist = Rc::clone(&wait_hist);
+        let timeline = Rc::clone(&timeline);
+        sim.set_group_sampler(Box::new(move |at, procs, metrics| {
+            let snap = snapshot_stalls(
+                at,
+                procs,
+                &mut tracker.borrow_mut(),
+                Some(&mut wait_hist.borrow_mut()),
+            );
+            metrics.sample("ts.stall.count", at, snap.stalls.len() as f64);
+            metrics.sample("ts.stall.max_age_ms", at, snap.max_age.as_millis_f64());
+            metrics.sample("ts.stall.worst_scc", at, snap.worst_scc_size as f64);
+            timeline.borrow_mut().push((at, snap));
+        }));
+    }
     let events_processed = sim.run_until(cfg.plan.horizon);
 
     let crashed = plan.crashed_at_horizon();
@@ -895,6 +1018,12 @@ pub fn run_campaign_with(seed: u64, cfg: &CampaignConfig, probe: ProbeHandle) ->
         .collect();
     let digest = digest_logs(&logs);
     let blocked = is_blocked(&logs);
+    let stall_timeline = timeline.borrow().clone();
+    let stalls = stall_timeline
+        .last()
+        .map(|(_, s)| s.clone())
+        .unwrap_or_default();
+    let wait_hist = wait_hist.borrow().clone();
 
     CampaignResult {
         seed,
@@ -910,6 +1039,9 @@ pub fn run_campaign_with(seed: u64, cfg: &CampaignConfig, probe: ProbeHandle) ->
         blocked_reports,
         hold_hist,
         events_processed,
+        stalls,
+        stall_timeline,
+        wait_hist,
     }
 }
 
@@ -1114,6 +1246,19 @@ mod tests {
         assert_eq!(a.digest, b.digest);
         assert_eq!(a.violations, b.violations);
         assert_eq!(format!("{}", a.plan), format!("{}", b.plan));
+        // The wait-graph analytics replay byte-identically too.
+        let render = |r: &CampaignResult| {
+            r.stall_timeline
+                .iter()
+                .flat_map(|(at, s)| {
+                    s.stalls
+                        .iter()
+                        .map(move |st| format!("{at:?} {} {}", st.summary(), st.render_path()))
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(render(&a), render(&b));
+        assert_eq!(a.wait_hist.count(), b.wait_hist.count());
     }
 
     #[test]
@@ -1158,6 +1303,25 @@ mod tests {
         let has_evidence =
             !r.blocked_reports.is_empty() || r.logs.iter().any(|l| l.alive_at_end && l.frozen);
         assert!(has_evidence, "no explainable evidence in {r:?}");
+        // The wait-graph must rank the wedged flush first: a persistent
+        // stall whose representative path names the flush phase at the
+        // suspected coordinator.
+        let top = r
+            .stalls
+            .stalls
+            .first()
+            .expect("wedged flush must produce a ranked stall");
+        assert!(
+            top.is_persistent(),
+            "wedge not persistent: {}",
+            top.summary()
+        );
+        assert!(
+            top.render_path().contains("flush@P"),
+            "top stall does not name the flush coordinator: {} / {}",
+            top.summary(),
+            top.render_path()
+        );
     }
 
     mod properties {
@@ -1192,6 +1356,20 @@ mod tests {
                     r.violations.is_empty(),
                     "seed {seed} n={n} indexed={indexed} delta={delta}: {:?}\n{}",
                     r.violations,
+                    r.plan
+                );
+                // False-positive guard: a violation-free run must report
+                // no persistent wait-graph cycle once the quiescent tail
+                // is reached. (Blocked primary-partition runs wedge by
+                // design, but into *chains* onto dead processes, never
+                // persistent cycles.)
+                prop_assert_eq!(
+                    r.stalls.persistent_cycles(),
+                    0,
+                    "seed {} n={}: clean run ended with a persistent cycle: {:?}\n{}",
+                    seed,
+                    n,
+                    r.stalls.stalls.iter().map(|s| s.summary()).collect::<Vec<_>>(),
                     r.plan
                 );
                 // Per-sender delivery sequences, derived independently of

@@ -1,0 +1,751 @@
+//! Online wait-graph analytics: live stall detection over every blocking
+//! structure in the stack.
+//!
+//! The paper's §3–§5 critique is that CATOCS hides *why* delivery stalls:
+//! a message can sit in a holdback queue (cbcast), behind a per-link
+//! reorder cursor (pccast), behind an order watermark (abcast), behind a
+//! token rotation, or behind a flush/install barrier (virtual synchrony)
+//! — and the application sees only silence. This module turns those
+//! hidden waits into one typed graph and analyses it *while the run is in
+//! progress*, on the telemetry sampling cadence:
+//!
+//! - **Nodes** are messages, processes, per-link positions and protocol
+//!   phases ([`WaitNode`]).
+//! - **Edges** point from the blocked thing to what it is blocked on,
+//!   stamped with the virtual time the wait began ([`WaitEdge`]).
+//! - **Analysis** ([`analyze`]) runs an iterative Tarjan SCC pass, finds
+//!   the *terminal* components of the condensation (cycles, or wedge
+//!   heads nothing is unblocking), and ranks them by severity:
+//!
+//!   ```text
+//!   severity = worst wait age (µs)
+//!            × (1 + blocked descendants)
+//!            × distinct processes involved
+//!            × persistence (consecutive snapshots seen)
+//!   ```
+//!
+//!   Each ranked stall carries a representative path — the oldest chain
+//!   of waits leading into the component, plus the cycle itself — so a
+//!   post-mortem can print *who* is wedged on *what* and for how long.
+//!
+//! Everything here is pure and deterministic: same edges in, same ranking
+//! out, byte-identical across reruns. Collection (`wait_edges` on the
+//! endpoints, [`crate::vsync`] for the membership layer) is `&self` and
+//! work-counter-neutral, so snapshotting cannot perturb a run's digest.
+
+use crate::group::MsgId;
+use simnet::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A stall is only *persistent* — and only counted by the gated
+/// `stall.count` metric — once its component has survived this many
+/// consecutive snapshots. At the default 50 ms sampling cadence that is
+/// 150 ms: far longer than any healthy holdback, order-release or flush
+/// round-trip, far shorter than a wedged flush.
+pub const PERSIST_SNAPSHOTS: u32 = 3;
+
+/// Protocol phases that can block progress. A waitgraph-local tag (not
+/// [`simnet::obs::PhaseKind`]) because graph nodes need total order for
+/// deterministic analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PhaseTag {
+    /// A view-change flush in progress (delivery blackout until install).
+    Flush,
+    /// The total-order token making its way around the ring.
+    TokenRotation,
+    /// The abcast sequencer's order assignment / watermark.
+    OrderAssign,
+}
+
+impl PhaseTag {
+    /// Short name for rendering.
+    pub fn name(self) -> &'static str {
+        match self {
+            PhaseTag::Flush => "flush",
+            PhaseTag::TokenRotation => "token",
+            PhaseTag::OrderAssign => "order",
+        }
+    }
+}
+
+/// One vertex of the wait graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WaitNode {
+    /// A message (delivered nowhere it is needed, or not yet arrived).
+    Msg(MsgId),
+    /// A process as a whole (frozen, or sitting on an unacked token).
+    Proc(usize),
+    /// A position on a pccast link `from -> to` that has not arrived —
+    /// the copy's identity is unknown until it does (constant metadata!),
+    /// so the wait can only name the slot. Resolved to [`WaitNode::Msg`]
+    /// when the sender's link log is reachable (see
+    /// [`crate::vsync`]'s collector).
+    LinkSlot {
+        /// The waiting receiver.
+        to: usize,
+        /// The link's sender.
+        from: usize,
+        /// The per-link sequence position waited for.
+        seq: u64,
+    },
+    /// A protocol phase anchored at a process (`flush@P2` is the flush
+    /// coordinated by P2).
+    Phase {
+        /// Which phase.
+        kind: PhaseTag,
+        /// The process the phase is anchored at (coordinator, sequencer,
+        /// token holder).
+        at: usize,
+    },
+}
+
+impl fmt::Display for WaitNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaitNode::Msg(id) => write!(f, "m{}.{}", id.sender, id.seq),
+            WaitNode::Proc(p) => write!(f, "P{p}"),
+            WaitNode::LinkSlot { to, from, seq } => {
+                write!(f, "link p{from}->p{to} pos {seq}")
+            }
+            WaitNode::Phase { kind, at } => write!(f, "{}@P{at}", kind.name()),
+        }
+    }
+}
+
+/// One "blocked on" edge, observed at a single process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitEdge {
+    /// The blocked thing.
+    pub from: WaitNode,
+    /// What it is blocked on.
+    pub to: WaitNode,
+    /// The process at which this wait was observed.
+    pub who: usize,
+    /// Virtual time the wait began (edge age = now − since).
+    pub since: SimTime,
+    /// Why, in one static phrase (specifics live in the nodes).
+    pub reason: &'static str,
+}
+
+/// One step of a representative stall path: a node, the reason for the
+/// edge it takes to the next step (empty on the last step), and that
+/// edge's wait age.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathStep {
+    /// The node at this step.
+    pub node: WaitNode,
+    /// Reason on the edge to the next step ("" on the final node).
+    pub reason: &'static str,
+    /// Age of that edge at snapshot time (zero on the final node).
+    pub age: SimDuration,
+}
+
+/// A ranked stall: a terminal component of the wait graph's condensation
+/// — either a genuine cycle (deadlock) or a wedge head that nothing is
+/// unblocking — plus everything stuck behind it.
+#[derive(Clone, Debug)]
+pub struct RankedStall {
+    /// The component's nodes, sorted (the stall's identity).
+    pub nodes: Vec<WaitNode>,
+    /// Whether the component is a real cycle (≥ 2 nodes, or a self-loop).
+    pub is_cycle: bool,
+    /// Oldest wait age on any edge into or inside the component.
+    pub worst_age: SimDuration,
+    /// Nodes transitively blocked behind the component (excluded from it).
+    pub blocked_descendants: usize,
+    /// Distinct process indices involved (component + everything behind).
+    pub procs_involved: usize,
+    /// Consecutive snapshots this component has been observed.
+    pub persistence: u32,
+    /// The ranking key (see the module docs for the formula).
+    pub severity: u128,
+    /// Oldest chain of waits into the component, then the cycle itself.
+    pub path: Vec<PathStep>,
+}
+
+impl RankedStall {
+    /// Whether this stall has survived long enough to count as
+    /// persistent (the gated invariant).
+    pub fn is_persistent(&self) -> bool {
+        self.persistence >= PERSIST_SNAPSHOTS
+    }
+
+    /// One-line summary: severity, shape, ages, involvement.
+    pub fn summary(&self) -> String {
+        let shape = if self.is_cycle { "cycle" } else { "wedge" };
+        format!(
+            "{shape} [{}] age {} ms, {} blocked behind, {} procs, seen {}x",
+            self.nodes
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            self.worst_age.as_millis(),
+            self.blocked_descendants,
+            self.procs_involved,
+            self.persistence,
+        )
+    }
+
+    /// Multi-line rendering of the representative path:
+    /// `m4.34 ──(frozen by flush)──> P0 ──(awaiting install)──> flush@P2`.
+    pub fn render_path(&self) -> String {
+        let mut s = String::new();
+        for (i, step) in self.path.iter().enumerate() {
+            if i > 0 {
+                s.push_str(" -> ");
+            }
+            s.push_str(&step.node.to_string());
+            if !step.reason.is_empty() {
+                s.push_str(&format!(
+                    " --({}, {} ms)--",
+                    step.reason,
+                    step.age.as_millis()
+                ));
+            }
+        }
+        s
+    }
+}
+
+/// One full analysis pass over a snapshot's edges.
+#[derive(Clone, Debug, Default)]
+pub struct StallSnapshot {
+    /// Ranked stalls, most severe first.
+    pub stalls: Vec<RankedStall>,
+    /// Oldest wait age across *all* edges (not just stall components).
+    pub max_age: SimDuration,
+    /// Size of the largest genuine cycle (0 when none).
+    pub worst_scc_size: usize,
+}
+
+impl StallSnapshot {
+    /// Stalls that have persisted across [`PERSIST_SNAPSHOTS`] snapshots.
+    pub fn persistent(&self) -> impl Iterator<Item = &RankedStall> {
+        self.stalls.iter().filter(|s| s.is_persistent())
+    }
+
+    /// Persistent genuine cycles — the invariant clean runs must keep at
+    /// zero once their quiescent tail is reached.
+    pub fn persistent_cycles(&self) -> usize {
+        self.persistent().filter(|s| s.is_cycle).count()
+    }
+}
+
+/// Persistence tracking across consecutive snapshots, keyed by the stall
+/// component's sorted node set. A component seen at snapshot *k* but not
+/// at *k+1* is forgotten; reappearing restarts the count — "persistent"
+/// means continuously wedged, not intermittently unlucky.
+#[derive(Clone, Debug, Default)]
+pub struct StallTracker {
+    seen: BTreeMap<Vec<WaitNode>, u32>,
+}
+
+impl StallTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one snapshot's component signatures in, returning each
+    /// signature's consecutive-snapshot count.
+    fn observe(&mut self, sigs: &[Vec<WaitNode>]) -> Vec<u32> {
+        let mut next = BTreeMap::new();
+        let mut counts = Vec::with_capacity(sigs.len());
+        for sig in sigs {
+            let c = self.seen.get(sig).copied().unwrap_or(0) + 1;
+            next.insert(sig.clone(), c);
+            counts.push(c);
+        }
+        self.seen = next;
+        counts
+    }
+}
+
+/// Iterative Tarjan SCC. Returns each node's component id; components are
+/// numbered in reverse topological order (a component's successors always
+/// have *smaller* ids).
+fn tarjan_scc(n: usize, adj: &[Vec<usize>]) -> (Vec<usize>, usize) {
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![UNSET; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut n_comps = 0usize;
+    // Explicit DFS frames: (node, next child position).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    for start in 0..n {
+        if index[start] != UNSET {
+            continue;
+        }
+        frames.push((start, 0));
+        while let Some(&mut (v, ref mut ci)) = frames.last_mut() {
+            if *ci == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = adj[v].get(*ci) {
+                *ci += 1;
+                if index[w] == UNSET {
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp[w] = n_comps;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    n_comps += 1;
+                }
+            }
+        }
+    }
+    (comp, n_comps)
+}
+
+/// Analyses one snapshot of wait edges: SCCs, terminal stall components,
+/// severity ranking and representative paths. `tracker` carries the
+/// persistence counts between consecutive snapshots.
+pub fn analyze(edges: &[WaitEdge], now: SimTime, tracker: &mut StallTracker) -> StallSnapshot {
+    if edges.is_empty() {
+        tracker.observe(&[]);
+        return StallSnapshot::default();
+    }
+
+    // Intern nodes; BTreeMap gives a deterministic numbering.
+    let mut ids: BTreeMap<WaitNode, usize> = BTreeMap::new();
+    for e in edges {
+        let n = ids.len();
+        ids.entry(e.from).or_insert(n);
+        let n = ids.len();
+        ids.entry(e.to).or_insert(n);
+    }
+    let n = ids.len();
+    let mut nodes = vec![edges[0].from; n];
+    for (node, &i) in &ids {
+        nodes[i] = *node;
+    }
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut radj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n]; // (pred, edge idx)
+    let mut self_loop = vec![false; n];
+    for (ei, e) in edges.iter().enumerate() {
+        let (a, b) = (ids[&e.from], ids[&e.to]);
+        if a == b {
+            self_loop[a] = true;
+        }
+        adj[a].push(b);
+        radj[b].push((a, ei));
+    }
+
+    let (comp, n_comps) = tarjan_scc(n, &adj);
+    let mut comp_size = vec![0usize; n_comps];
+    for v in 0..n {
+        comp_size[comp[v]] += 1;
+    }
+    // Terminal components: no edge leaves them.
+    let mut terminal = vec![true; n_comps];
+    for v in 0..n {
+        for &w in &adj[v] {
+            if comp[v] != comp[w] {
+                terminal[comp[v]] = false;
+            }
+        }
+    }
+
+    let max_age = edges
+        .iter()
+        .map(|e| now.saturating_since(e.since))
+        .max()
+        .unwrap_or(SimDuration::ZERO);
+    let worst_scc_size = (0..n_comps)
+        .map(|c| {
+            let cyclic = comp_size[c] > 1 || (0..n).any(|v| comp[v] == c && self_loop[v]);
+            if cyclic {
+                comp_size[c]
+            } else {
+                0
+            }
+        })
+        .max()
+        .unwrap_or(0);
+
+    // Candidate stalls: terminal components something is blocked behind.
+    let mut candidates: Vec<(usize, Vec<WaitNode>)> = Vec::new();
+    for (c, &is_terminal) in terminal.iter().enumerate() {
+        if !is_terminal {
+            continue;
+        }
+        let members: Vec<usize> = (0..n).filter(|&v| comp[v] == c).collect();
+        let has_in = members
+            .iter()
+            .any(|&v| radj[v].iter().any(|&(p, _)| comp[p] != c))
+            || members.len() > 1
+            || members.iter().any(|&v| self_loop[v]);
+        if !has_in {
+            continue;
+        }
+        let mut sig: Vec<WaitNode> = members.iter().map(|&v| nodes[v]).collect();
+        sig.sort();
+        candidates.push((c, sig));
+    }
+    candidates.sort_by(|a, b| a.1.cmp(&b.1));
+    let sigs: Vec<Vec<WaitNode>> = candidates.iter().map(|(_, s)| s.clone()).collect();
+    let persistence = tracker.observe(&sigs);
+
+    let mut stalls = Vec::with_capacity(candidates.len());
+    for ((c, sig), persist) in candidates.into_iter().zip(persistence) {
+        let members: Vec<usize> = (0..n).filter(|&v| comp[v] == c).collect();
+        let is_cycle = members.len() > 1 || members.iter().any(|&v| self_loop[v]);
+
+        // Reverse reachability from the component = everything blocked
+        // behind it.
+        let mut reach = vec![false; n];
+        let mut work: Vec<usize> = members.clone();
+        for &m in &members {
+            reach[m] = true;
+        }
+        while let Some(v) = work.pop() {
+            for &(p, _) in &radj[v] {
+                if !reach[p] {
+                    reach[p] = true;
+                    work.push(p);
+                }
+            }
+        }
+        let blocked_descendants = (0..n).filter(|&v| reach[v] && comp[v] != c).count();
+        let mut procs: Vec<usize> = (0..n)
+            .filter(|&v| reach[v])
+            .flat_map(|v| match nodes[v] {
+                WaitNode::Msg(id) => vec![id.sender],
+                WaitNode::Proc(p) => vec![p],
+                WaitNode::LinkSlot { to, from, .. } => vec![to, from],
+                WaitNode::Phase { at, .. } => vec![at],
+            })
+            .collect();
+        procs.sort_unstable();
+        procs.dedup();
+        let procs_involved = procs.len();
+
+        // Worst age on any edge into or inside the component.
+        let worst_age = edges
+            .iter()
+            .filter(|e| comp[ids[&e.to]] == c)
+            .map(|e| now.saturating_since(e.since))
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+
+        let severity = (worst_age.as_micros() as u128)
+            .saturating_mul(1 + blocked_descendants as u128)
+            .saturating_mul(procs_involved.max(1) as u128)
+            .saturating_mul(persist as u128);
+
+        let path = representative_path(&members, c, &comp, &nodes, &ids, &radj, &adj, edges, now);
+
+        stalls.push(RankedStall {
+            nodes: sig,
+            is_cycle,
+            worst_age,
+            blocked_descendants,
+            procs_involved,
+            persistence: persist,
+            severity,
+            path,
+        });
+    }
+
+    // Most severe first; the sorted node set breaks ties deterministically.
+    stalls.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.nodes.cmp(&b.nodes)));
+
+    StallSnapshot {
+        stalls,
+        max_age,
+        worst_scc_size,
+    }
+}
+
+/// The oldest chain of waits leading into component `c`, then the cycle
+/// itself (when there is one): at each backward step pick the incoming
+/// edge with the greatest age, stopping at a node with no external
+/// predecessors or one already on the path.
+#[allow(clippy::too_many_arguments)]
+fn representative_path(
+    members: &[usize],
+    c: usize,
+    comp: &[usize],
+    nodes: &[WaitNode],
+    ids: &BTreeMap<WaitNode, usize>,
+    radj: &[Vec<(usize, usize)>],
+    adj: &[Vec<usize>],
+    edges: &[WaitEdge],
+    now: SimTime,
+) -> Vec<PathStep> {
+    // Entry: the component node with the oldest incoming external edge
+    // (or, failing that, the smallest member — a pure cycle).
+    let oldest_in = |v: usize| -> Option<(usize, usize)> {
+        // (edge idx, pred) of the oldest external in-edge of v.
+        radj[v]
+            .iter()
+            .filter(|&&(p, _)| comp[p] != c)
+            .max_by_key(|&&(p, ei)| (now.saturating_since(edges[ei].since), std::cmp::Reverse(p)))
+            .map(|&(p, ei)| (ei, p))
+    };
+    let entry = members
+        .iter()
+        .copied()
+        .max_by_key(|&v| {
+            oldest_in(v)
+                .map(|(ei, _)| now.saturating_since(edges[ei].since))
+                .unwrap_or(SimDuration::ZERO)
+        })
+        .unwrap_or(members[0]);
+
+    // Walk backwards from the entry along the oldest external in-edges.
+    let mut chain: Vec<(usize, usize)> = Vec::new(); // (node, edge to successor)
+    let mut seen = vec![false; nodes.len()];
+    seen[entry] = true;
+    let mut cur = entry;
+    while let Some((ei, p)) = oldest_in(cur) {
+        if seen[p] {
+            break;
+        }
+        seen[p] = true;
+        chain.push((p, ei));
+        cur = p;
+    }
+    chain.reverse();
+
+    let mut path: Vec<PathStep> = chain
+        .into_iter()
+        .map(|(v, ei)| PathStep {
+            node: nodes[v],
+            reason: edges[ei].reason,
+            age: now.saturating_since(edges[ei].since),
+        })
+        .collect();
+
+    // Then the component itself: from the entry, follow in-component
+    // edges until a repeat (covers both single wedge heads and cycles).
+    let mut cur = entry;
+    let mut in_comp_seen = vec![false; nodes.len()];
+    loop {
+        if in_comp_seen[cur] {
+            break;
+        }
+        in_comp_seen[cur] = true;
+        let next = adj[cur].iter().copied().find(|&w| comp[w] == c);
+        match next {
+            Some(w) => {
+                // The concrete edge cur -> w, for its reason and age.
+                let ei = edges
+                    .iter()
+                    .position(|e| ids[&e.from] == cur && ids[&e.to] == w)
+                    .expect("adjacency implies an edge");
+                path.push(PathStep {
+                    node: nodes[cur],
+                    reason: edges[ei].reason,
+                    age: now.saturating_since(edges[ei].since),
+                });
+                if in_comp_seen[w] {
+                    // Close the cycle visually by naming the repeat.
+                    path.push(PathStep {
+                        node: nodes[w],
+                        reason: "",
+                        age: SimDuration::ZERO,
+                    });
+                    break;
+                }
+                cur = w;
+            }
+            None => {
+                path.push(PathStep {
+                    node: nodes[cur],
+                    reason: "",
+                    age: SimDuration::ZERO,
+                });
+                break;
+            }
+        }
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn msg(sender: usize, seq: u64) -> WaitNode {
+        WaitNode::Msg(MsgId { sender, seq })
+    }
+
+    fn edge(from: WaitNode, to: WaitNode, since_ms: u64, reason: &'static str) -> WaitEdge {
+        WaitEdge {
+            from,
+            to,
+            who: 0,
+            since: t(since_ms),
+            reason,
+        }
+    }
+
+    #[test]
+    fn empty_graph_has_no_stalls() {
+        let mut tr = StallTracker::new();
+        let s = analyze(&[], t(100), &mut tr);
+        assert!(s.stalls.is_empty());
+        assert_eq!(s.worst_scc_size, 0);
+        assert_eq!(s.max_age, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn chain_yields_single_wedge_head() {
+        // m0.1 -> m1.1 -> m2.1: the terminal wedge head is m2.1.
+        let edges = vec![
+            edge(msg(0, 1), msg(1, 1), 10, "needs predecessor"),
+            edge(msg(1, 1), msg(2, 1), 5, "needs predecessor"),
+        ];
+        let mut tr = StallTracker::new();
+        let s = analyze(&edges, t(100), &mut tr);
+        assert_eq!(s.stalls.len(), 1);
+        let st = &s.stalls[0];
+        assert!(!st.is_cycle);
+        assert_eq!(st.nodes, vec![msg(2, 1)]);
+        assert_eq!(st.blocked_descendants, 2);
+        assert_eq!(st.worst_age, SimDuration::from_millis(95));
+        assert_eq!(s.worst_scc_size, 0);
+        // Path walks the whole chain into the head.
+        let names: Vec<String> = st.path.iter().map(|p| p.node.to_string()).collect();
+        assert_eq!(names, vec!["m0.1", "m1.1", "m2.1"]);
+    }
+
+    #[test]
+    fn cycle_is_detected_and_ranked_above_wedge() {
+        let flush = WaitNode::Phase {
+            kind: PhaseTag::Flush,
+            at: 2,
+        };
+        let edges = vec![
+            // A 2-cycle: P0 waits on the flush, the flush waits on P0's ack.
+            edge(WaitNode::Proc(0), flush, 10, "awaiting install"),
+            edge(flush, WaitNode::Proc(0), 10, "missing FlushOk"),
+            // Messages wedged behind it.
+            edge(msg(4, 34), WaitNode::Proc(0), 20, "frozen by flush"),
+            // An unrelated small wedge.
+            edge(msg(3, 1), msg(3, 0), 90, "needs predecessor"),
+        ];
+        let mut tr = StallTracker::new();
+        let s = analyze(&edges, t(100), &mut tr);
+        assert_eq!(s.worst_scc_size, 2);
+        assert_eq!(s.stalls.len(), 2);
+        let top = &s.stalls[0];
+        assert!(top.is_cycle);
+        assert_eq!(top.nodes, vec![WaitNode::Proc(0), flush]);
+        assert_eq!(top.blocked_descendants, 1);
+        // The path names the coordinator's flush phase.
+        assert!(
+            top.render_path().contains("flush@P2"),
+            "{}",
+            top.render_path()
+        );
+        assert!(
+            top.render_path().starts_with("m4.34"),
+            "{}",
+            top.render_path()
+        );
+    }
+
+    #[test]
+    fn self_loop_counts_as_cycle() {
+        let edges = vec![edge(
+            WaitNode::Proc(1),
+            WaitNode::Proc(1),
+            0,
+            "waits on itself",
+        )];
+        let mut tr = StallTracker::new();
+        let s = analyze(&edges, t(50), &mut tr);
+        assert_eq!(s.stalls.len(), 1);
+        assert!(s.stalls[0].is_cycle);
+        assert_eq!(s.worst_scc_size, 1);
+    }
+
+    #[test]
+    fn persistence_counts_consecutive_snapshots_only() {
+        let edges = vec![edge(msg(0, 2), msg(0, 1), 0, "needs predecessor")];
+        let mut tr = StallTracker::new();
+        let s1 = analyze(&edges, t(50), &mut tr);
+        assert_eq!(s1.stalls[0].persistence, 1);
+        assert!(!s1.stalls[0].is_persistent());
+        let s2 = analyze(&edges, t(100), &mut tr);
+        assert_eq!(s2.stalls[0].persistence, 2);
+        let s3 = analyze(&edges, t(150), &mut tr);
+        assert_eq!(s3.stalls[0].persistence, 3);
+        assert!(s3.stalls[0].is_persistent());
+        // The component vanishes for one snapshot: the count resets.
+        let s4 = analyze(&[], t(200), &mut tr);
+        assert!(s4.stalls.is_empty());
+        let s5 = analyze(&edges, t(250), &mut tr);
+        assert_eq!(s5.stalls[0].persistence, 1);
+    }
+
+    #[test]
+    fn severity_scales_with_blocked_descendants() {
+        // Same head age, one head with two ancestors vs one with none... a
+        // lone head with no in-edges is not even a candidate, so compare
+        // one-ancestor vs three-ancestor wedges.
+        let head_a = msg(9, 1);
+        let head_b = msg(9, 2);
+        let edges = vec![
+            edge(msg(0, 1), head_a, 0, "w"),
+            edge(msg(1, 1), head_b, 0, "w"),
+            edge(msg(2, 1), head_b, 0, "w"),
+            edge(msg(3, 1), head_b, 0, "w"),
+        ];
+        let mut tr = StallTracker::new();
+        let s = analyze(&edges, t(100), &mut tr);
+        assert_eq!(s.stalls.len(), 2);
+        assert_eq!(s.stalls[0].nodes, vec![head_b]);
+        assert!(s.stalls[0].severity > s.stalls[1].severity);
+    }
+
+    #[test]
+    fn analysis_is_deterministic() {
+        let flush = WaitNode::Phase {
+            kind: PhaseTag::Flush,
+            at: 0,
+        };
+        let edges = vec![
+            edge(WaitNode::Proc(3), flush, 7, "awaiting install"),
+            edge(flush, WaitNode::Proc(3), 9, "missing FlushOk"),
+            edge(msg(1, 5), WaitNode::Proc(3), 11, "frozen by flush"),
+            edge(msg(2, 2), msg(1, 5), 13, "needs predecessor"),
+        ];
+        let run = || {
+            let mut tr = StallTracker::new();
+            let s = analyze(&edges, t(500), &mut tr);
+            s.stalls
+                .iter()
+                .map(|st| (st.summary(), st.render_path(), st.severity))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -72,6 +72,13 @@ pub enum Stage {
     /// A delta-stamped copy arrived ahead of its decode base and was
     /// parked undecoded.
     Parked,
+    /// A constant-metadata copy arrived out of position and entered a
+    /// per-link reorder buffer (pccast fast path).
+    ReorderEnter,
+    /// A skip marker was consumed for this message's position: the
+    /// receiver will obtain the copy elsewhere (another link, or the
+    /// holdback repair path).
+    SkipConsume,
 }
 
 impl Stage {
@@ -85,6 +92,8 @@ impl Stage {
             Stage::Delivered => "delivered",
             Stage::Dropped => "dropped",
             Stage::Parked => "parked",
+            Stage::ReorderEnter => "reorder-enter",
+            Stage::SkipConsume => "skip-consume",
         }
     }
 }
@@ -102,6 +111,9 @@ pub enum PhaseKind {
     OrderAssign,
     /// A stability round: ack gossip sent / stable frontier advanced.
     StabilityRound,
+    /// A pccast link acknowledgement: the cumulative per-link cursor a
+    /// receiver reported, letting the sender GC its link log.
+    LinkAck,
 }
 
 impl PhaseKind {
@@ -113,6 +125,7 @@ impl PhaseKind {
             PhaseKind::TokenRotation => "token-rotation",
             PhaseKind::OrderAssign => "order-assign",
             PhaseKind::StabilityRound => "stability-round",
+            PhaseKind::LinkAck => "link-ack",
         }
     }
 }
@@ -600,7 +613,7 @@ pub fn perfetto_json(
                                 ));
                             }
                         }
-                        Stage::HoldbackEnter => {
+                        Stage::HoldbackEnter | Stage::ReorderEnter => {
                             entered.insert((*who, *span), ts);
                         }
                         Stage::Delivered => {

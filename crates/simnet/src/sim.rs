@@ -85,6 +85,7 @@ impl SimBuilder {
             stop: false,
             sample_every: self.sample_every,
             next_sample: self.sample_every.map(|c| SimTime::ZERO + c),
+            group_sampler: None,
         }
     }
 }
@@ -103,7 +104,17 @@ pub struct Sim<M> {
     stop: bool,
     sample_every: Option<SimDuration>,
     next_sample: Option<SimTime>,
+    group_sampler: Option<GroupSampler>,
 }
+
+/// A whole-group sampling hook, run after the per-process gauge pass on
+/// every sampling tick: it sees every process (as `&dyn Any`, with its
+/// liveness) at once, so it can compute cross-process aggregates — e.g.
+/// the wait-graph stall analysis — that no single process can. Hooks
+/// must be read-only with respect to process state (they only get shared
+/// references) and must not touch RNG or the event queue, so installing
+/// one cannot perturb a run.
+pub type GroupSampler = Box<dyn FnMut(SimTime, &[(&dyn Any, bool)], &mut Metrics)>;
 
 /// Object-safe union of `Process<M>` and `Any`, enabling typed access to a
 /// process's final state after a run (see [`Sim::process`]).
@@ -293,6 +304,26 @@ impl<M: Debug + Clone + 'static> Sim<M> {
         }
         self.metrics
             .sample("ts.sim.queue", at, self.queue.len() as f64);
+        // Whole-group hook last, so it can see the same instant the
+        // per-process series describe. Taken out and restored to keep
+        // the borrows disjoint.
+        if let Some(mut hook) = self.group_sampler.take() {
+            let views: Vec<(&dyn Any, bool)> = self
+                .procs
+                .iter()
+                .zip(self.alive.iter())
+                .map(|(p, &alive)| (p.as_any(), alive))
+                .collect();
+            hook(at, &views, &mut self.metrics);
+            self.group_sampler = Some(hook);
+        }
+    }
+
+    /// Installs a whole-group sampling hook (see [`GroupSampler`]); it
+    /// fires on the [`SimBuilder::sample_every`] cadence after the
+    /// per-process gauge pass. Replaces any previous hook.
+    pub fn set_group_sampler(&mut self, hook: GroupSampler) {
+        self.group_sampler = Some(hook);
     }
 
     /// Runs until no events remain (or `max` is reached as a safety net).
