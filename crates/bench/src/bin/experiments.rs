@@ -7,6 +7,7 @@
 //! experiments chaos --seed 23 --bug no-detector-reset
 //! experiments chaos --discipline pccast
 //! experiments explain --seed 2 --bug no-flush-retry [--msg m0.3]
+//! experiments latency --seed 2 --bug wedged_flush [--msg m0.3] [--discipline abcast] [--compare]
 //! experiments waitgraph --seed 2 --bug no-flush-retry [--at MS]
 //! experiments t7plus --perfetto out.json
 //! experiments bench --json BENCH_new.json [--wall]
@@ -20,11 +21,14 @@ fn print_usage() {
         "usage: experiments [--perfetto FILE] \
          [all|list|f1|f2|f3|f4|t5|t6|t7|t7plus|t8|t9|t10|t11|t12|t13|t14|t15|t16|ablate\
          |chaos [--seed N] [--bug KNOB] [--discipline cbcast|pccast]\
-         |explain --seed N [--msg mS.Q] [--bug KNOB] [--discipline cbcast|pccast]\
+         |explain --seed N [--msg mS.Q] [--bug KNOB] [--at MS] \
+         [--discipline cbcast|pccast|abcast|token]\
+         |latency --seed N [--msg mS.Q] [--bug KNOB] \
+         [--discipline cbcast|pccast|abcast|token|fifo] [--compare]\
          |waitgraph --seed N [--at MS] [--bug KNOB] [--discipline cbcast|pccast]\
          |bench [--json FILE] [--wall]\
          |benchdiff OLD.json NEW.json [--gate PCT]]...\n\
-         KNOB: no-detector-reset | no-flush-retry | no-chain-reset\n\
+         KNOB: no-detector-reset | no-flush-retry (alias wedged-flush) | no-chain-reset\n\
          --discipline: which causal algorithm the chaos campaigns run (vector-timestamp cbcast, default, or constant-metadata pccast)"
     );
 }
@@ -68,6 +72,9 @@ fn main() {
                      claims; ablate — design ablations; chaos — fault \
                      campaigns (--seed N replays one, --bug K injects a \
                      regression); explain — why a message is still blocked; \
+                     latency — per-message ordering-tax attribution \
+                     (--seed N, --msg drills down, --compare sweeps \
+                     disciplines at N=64); \
                      waitgraph — ranked stall report (--seed N, --at MS \
                      picks a snapshot); \
                      bench — performance telemetry snapshot (--json FILE, \
@@ -258,11 +265,16 @@ fn main() {
                 let mut seed: Option<u64> = None;
                 let mut msg = None;
                 let mut knobs = catocs::vsync::BugKnobs::default();
-                let mut discipline = catocs::group::CausalDiscipline::Cbcast;
+                let mut discipline = String::from("cbcast");
+                let mut at: Option<u64> = None;
                 while i < args.len() {
                     match args[i].as_str() {
                         "--seed" => {
                             seed = Some(parse_num(args.get(i + 1), "explain --seed"));
+                            i += 2;
+                        }
+                        "--at" => {
+                            at = Some(parse_num(args.get(i + 1), "explain --at"));
                             i += 2;
                         }
                         "--msg" => {
@@ -281,7 +293,7 @@ fn main() {
                             i += 2;
                         }
                         "--discipline" => {
-                            discipline = parse_discipline(args.get(i + 1));
+                            discipline = args.get(i + 1).cloned().unwrap_or_default();
                             i += 2;
                         }
                         _ => break,
@@ -291,7 +303,105 @@ fn main() {
                     eprintln!("explain needs --seed N");
                     std::process::exit(2);
                 };
-                print!("{}", ex::explain::run_d(seed, msg, knobs, discipline));
+                match discipline.as_str() {
+                    "cbcast" => print!(
+                        "{}",
+                        ex::explain::run_d(
+                            seed,
+                            msg,
+                            knobs,
+                            catocs::group::CausalDiscipline::Cbcast
+                        )
+                    ),
+                    "pccast" => print!(
+                        "{}",
+                        ex::explain::run_d(
+                            seed,
+                            msg,
+                            knobs,
+                            catocs::group::CausalDiscipline::Pccast
+                        )
+                    ),
+                    "abcast" => print!(
+                        "{}",
+                        ex::explain::run_total(
+                            seed,
+                            msg,
+                            at.map(simnet::time::SimTime::from_millis),
+                            ex::explain::TotalKind::Sequencer
+                        )
+                    ),
+                    "token" => print!(
+                        "{}",
+                        ex::explain::run_total(
+                            seed,
+                            msg,
+                            at.map(simnet::time::SimTime::from_millis),
+                            ex::explain::TotalKind::Token
+                        )
+                    ),
+                    _ => {
+                        eprintln!("explain --discipline wants cbcast, pccast, abcast or token");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "latency" => {
+                let mut seed: Option<u64> = None;
+                let mut msg = None;
+                let mut knobs = catocs::vsync::BugKnobs::default();
+                let mut discipline = ex::latency::LatencyDiscipline::Cbcast;
+                let mut compare = false;
+                while i < args.len() {
+                    match args[i].as_str() {
+                        "--seed" => {
+                            seed = Some(parse_num(args.get(i + 1), "latency --seed"));
+                            i += 2;
+                        }
+                        "--msg" => {
+                            msg = Some(
+                                args.get(i + 1)
+                                    .and_then(|s| ex::explain::parse_msg(s))
+                                    .unwrap_or_else(|| {
+                                        eprintln!("latency --msg wants an id like m0.3");
+                                        std::process::exit(2);
+                                    }),
+                            );
+                            i += 2;
+                        }
+                        "--bug" => {
+                            knobs = parse_knob(args.get(i + 1));
+                            i += 2;
+                        }
+                        "--discipline" => {
+                            discipline = args
+                                .get(i + 1)
+                                .and_then(|s| ex::latency::LatencyDiscipline::parse(s))
+                                .unwrap_or_else(|| {
+                                    eprintln!(
+                                        "latency --discipline wants cbcast, pccast, \
+                                         abcast, token or fifo"
+                                    );
+                                    std::process::exit(2);
+                                });
+                            i += 2;
+                        }
+                        "--compare" => {
+                            compare = true;
+                            i += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                if compare {
+                    println!("{}", ex::latency::compare(seed.unwrap_or(0)));
+                } else {
+                    let Some(seed) = seed else {
+                        eprintln!("latency needs --seed N (or --compare)");
+                        std::process::exit(2);
+                    };
+                    print!("{}", ex::latency::run(seed, msg, knobs, discipline));
+                }
             }
             "waitgraph" => {
                 let mut seed: Option<u64> = None;
@@ -348,7 +458,10 @@ fn parse_num(arg: Option<&String>, what: &str) -> u64 {
 fn parse_knob(arg: Option<&String>) -> catocs::vsync::BugKnobs {
     arg.and_then(|s| ex::chaos::parse_bug(s))
         .unwrap_or_else(|| {
-            eprintln!("--bug wants one of: no-detector-reset, no-flush-retry, no-chain-reset");
+            eprintln!(
+                "--bug wants one of: no-detector-reset, no-flush-retry \
+                 (alias: wedged-flush), no-chain-reset"
+            );
             std::process::exit(2);
         })
 }

@@ -20,11 +20,13 @@
 //! byte-identical file. Wall-clock throughput is collected only with
 //! `--wall` and marked `det: false`: informational, never gated.
 
+use crate::experiments::latency::{self, LatencyDiscipline};
 use crate::table::Table;
 use crate::telemetry::{BenchSnapshot, Direction};
 use catocs::endpoint::Discipline;
-use catocs::group::GroupConfig;
+use catocs::group::{CausalDiscipline, GroupConfig};
 use catocs::harness::{spawn_group, GroupApp, GroupCtx};
+use catocs::ledger::{LatencySummary, PhaseId};
 use catocs::vsync::BugKnobs;
 use catocs::wire::{Delivery, Wire};
 use simnet::metrics::Histogram;
@@ -252,6 +254,60 @@ fn push_point(
     }
 }
 
+/// Pushes the latency-provenance rows for one discipline: wire-transit
+/// quantiles, the discipline's signature ordering phase, end-to-end
+/// delivered latency, and the headline ordering tax. Quantiles come from
+/// the merged histograms of every summary passed in (chaos disciplines
+/// fold [`CHAOS_SEEDS`] campaigns; harness disciplines pass one run).
+fn push_latency(snap: &mut BenchSnapshot, d: LatencyDiscipline, summaries: &[LatencySummary]) {
+    let mut e2e = Histogram::new();
+    let mut tax = Histogram::new();
+    let mut wire = Histogram::new();
+    let mut sig = Histogram::new();
+    let sig_phase = d.signature_phase();
+    for s in summaries {
+        e2e.merge(&s.latency);
+        tax.merge(&s.tax);
+        if let Some(h) = s.per_phase.get(&PhaseId::Wire) {
+            wire.merge(h);
+        }
+        if let Some(h) = s.per_phase.get(&sig_phase) {
+            sig.merge(h);
+        }
+    }
+    let name = d.name();
+    for (metric, h) in [("wire", &wire), ("e2e", &e2e)] {
+        snap.push(
+            format!("latency.{name}.{metric}.p50_ms"),
+            h.quantile(0.50).as_millis_f64(),
+            "ms",
+            Direction::LowerIsBetter,
+            true,
+        );
+        snap.push(
+            format!("latency.{name}.{metric}.p99_ms"),
+            h.quantile(0.99).as_millis_f64(),
+            "ms",
+            Direction::LowerIsBetter,
+            true,
+        );
+    }
+    snap.push(
+        format!("latency.{name}.{}.p99_ms", sig_phase.name()),
+        sig.quantile(0.99).as_millis_f64(),
+        "ms",
+        Direction::LowerIsBetter,
+        true,
+    );
+    snap.push(
+        format!("latency.tax.{name}.mean_us"),
+        tax.mean().as_micros() as f64,
+        "us",
+        Direction::LowerIsBetter,
+        true,
+    );
+}
+
 /// Collects the full snapshot. With `wall` false (the default) every
 /// metric is virtual-time deterministic and the serialized snapshot is
 /// byte-identical across reruns; with `wall` true, wall-clock throughput
@@ -336,6 +392,7 @@ pub fn collect(wall: bool) -> BenchSnapshot {
     let mut stall_count = 0u64;
     let mut stall_max_age_ms = 0f64;
     let mut stall_worst_scc = 0u64;
+    let mut cbcast_lat: Vec<LatencySummary> = Vec::new();
     for seed in 0..CHAOS_SEEDS {
         let r = chaos::run_seed(seed, true, true, BugKnobs::default());
         delivered += r.delivered_total;
@@ -345,6 +402,7 @@ pub fn collect(wall: bool) -> BenchSnapshot {
         stall_count += r.stalls.stalls.len() as u64;
         stall_max_age_ms = stall_max_age_ms.max(r.stalls.max_age.as_millis_f64());
         stall_worst_scc = stall_worst_scc.max(r.stalls.worst_scc_size as u64);
+        cbcast_lat.push(r.latency);
     }
     let chaos_wall = start.elapsed().as_secs_f64();
     snap.push(
@@ -416,6 +474,36 @@ pub fn collect(wall: bool) -> BenchSnapshot {
             Direction::LowerIsBetter,
             false,
         );
+    }
+
+    // Latency-provenance rows per discipline (the ledger's phase
+    // attribution): the chaos disciplines fold the same CHAOS_SEEDS
+    // campaigns as above; abcast/token/fifo run the deterministic
+    // harness-group workload. All virtual-time, all gated.
+    push_latency(&mut snap, LatencyDiscipline::Cbcast, &cbcast_lat);
+    let pccast_lat: Vec<LatencySummary> = (0..CHAOS_SEEDS)
+        .map(|seed| {
+            chaos::run_seed_d(
+                seed,
+                true,
+                true,
+                BugKnobs::default(),
+                CausalDiscipline::Pccast,
+            )
+            .latency
+        })
+        .collect();
+    push_latency(&mut snap, LatencyDiscipline::Pccast, &pccast_lat);
+    for (d, discipline) in [
+        (
+            LatencyDiscipline::Abcast,
+            Discipline::Total { sequencer: 0 },
+        ),
+        (LatencyDiscipline::Token, Discipline::TotalToken),
+        (LatencyDiscipline::Fifo, Discipline::Fifo),
+    ] {
+        let s = latency::run_group_ledger(SNAPSHOT_SEED, GROUP_N, discipline);
+        push_latency(&mut snap, d, &[s]);
     }
 
     snap
@@ -520,6 +608,35 @@ mod tests {
         // pccast undercuts even the delta-compressed sparse-regime rows.
         let delta4096 = s.get("t7plus.scaling.n4096.bytes_per_msg").unwrap().value;
         assert!(pc4096 < delta4096, "pccast must undercut cbcast at N=4096");
+        // Latency-provenance rows: every discipline reports wire,
+        // signature-phase, end-to-end and ordering-tax metrics.
+        for (d, sig) in [
+            ("cbcast", "causal"),
+            ("pccast", "reorder"),
+            ("abcast", "order"),
+            ("token", "token"),
+            ("fifo", "fifo"),
+        ] {
+            for name in [
+                format!("latency.{d}.wire.p50_ms"),
+                format!("latency.{d}.wire.p99_ms"),
+                format!("latency.{d}.e2e.p50_ms"),
+                format!("latency.{d}.e2e.p99_ms"),
+                format!("latency.{d}.{sig}.p99_ms"),
+                format!("latency.tax.{d}.mean_us"),
+            ] {
+                assert!(s.get(&name).is_some(), "missing {name}");
+            }
+        }
+        // Total order costs latency over the FIFO floor: the tax rows
+        // order as the paper says they must.
+        let tax = |d: &str| s.get(&format!("latency.tax.{d}.mean_us")).unwrap().value;
+        assert!(
+            tax("abcast") > tax("fifo"),
+            "abcast tax {} should exceed fifo tax {}",
+            tax("abcast"),
+            tax("fifo")
+        );
         // The default snapshot is fully deterministic.
         assert!(s.metrics.iter().all(|m| m.det));
     }

@@ -14,8 +14,10 @@
 
 use crate::table::Table;
 use catocs::group::{CausalDiscipline, GroupConfig};
-use catocs::vsync::{run_campaign, run_campaign_with, BugKnobs, CampaignConfig, CampaignResult};
-use simnet::obs::ProbeHandle;
+use catocs::vsync::{
+    run_campaign, run_campaign_with, BugKnobs, CampaignConfig, CampaignResult, Violation,
+};
+use simnet::obs::{ProbeHandle, SpanId};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -39,7 +41,9 @@ pub fn parse_bug(name: &str) -> Option<BugKnobs> {
             no_detector_reset: true,
             ..off
         }),
-        "no-flush-retry" => Some(BugKnobs {
+        // "wedged_flush" is the operator-facing alias: the symptom (a
+        // flush barrier that never completes) rather than the mechanism.
+        "no-flush-retry" | "wedged-flush" | "wedged_flush" => Some(BugKnobs {
             no_flush_retry: true,
             ..off
         }),
@@ -133,6 +137,61 @@ pub fn dump_incident_to(
             let _ = writeln!(text, "     path: {}", s.render_path());
         }
     }
+    // Per-message latency provenance for the messages implicated in the
+    // incident: the ledger entry of every violating message, plus (for
+    // process-level violations like a frozen survivor) the worst open
+    // entry at that process. Capped like the blocked reports above.
+    const MAX_LEDGER_LINES: usize = 8;
+    let mut implicated: Vec<&catocs::ledger::LedgerEntry> = Vec::new();
+    for v in &r.violations {
+        match v {
+            Violation::DuplicateDelivery { who, id }
+            | Violation::FifoGap { who, id, .. }
+            | Violation::CausalOrder { who, id, .. }
+            | Violation::BeyondCutDelivery { who, id, .. }
+            | Violation::UnknownMessage { who, id } => {
+                let span = SpanId {
+                    origin: id.sender,
+                    seq: id.seq,
+                };
+                if let Some(e) = r.latency.entry(*who, span) {
+                    implicated.push(e);
+                }
+            }
+            Violation::FrozenAtEnd { who } | Violation::ParkedAtEnd { who, .. } => {
+                // No single message named: show the process's worst wedge.
+                if let Some(e) = r
+                    .latency
+                    .entries
+                    .iter()
+                    .filter(|e| e.receiver == *who && e.open)
+                    .max_by(|a, b| a.latency().cmp(&b.latency()).then(b.span.cmp(&a.span)))
+                {
+                    implicated.push(e);
+                }
+            }
+            _ => {}
+        }
+    }
+    implicated.sort_by_key(|e| (e.receiver, e.span));
+    implicated.dedup_by_key(|e| (e.receiver, e.span));
+    if !implicated.is_empty() {
+        let _ = writeln!(
+            text,
+            "\nlatency ledger for implicated messages (phase-attributed send->deliver time):"
+        );
+        for e in implicated.iter().take(MAX_LEDGER_LINES) {
+            crate::experiments::latency::render_entry(&mut text, e);
+        }
+        if implicated.len() > MAX_LEDGER_LINES {
+            let _ = writeln!(
+                text,
+                "  ... and {} more implicated messages",
+                implicated.len() - MAX_LEDGER_LINES
+            );
+        }
+    }
+
     let names: Vec<String> = (0..n).map(|p| format!("P{p}")).collect();
     let refs: Vec<&str> = names.iter().map(String::as_str).collect();
     let _ = writeln!(
@@ -537,6 +596,16 @@ mod tests {
         // names the flush phase of the suspected coordinator.
         assert!(txt.contains("ranked stalls at the horizon"), "{txt}");
         assert!(txt.contains("flush@P"), "{txt}");
+        // The latency ledger attributes the implicated message's wedged
+        // time, phase by phase, with the flush barrier on the critical
+        // path.
+        assert!(
+            txt.contains("latency ledger for implicated messages"),
+            "{txt}"
+        );
+        assert!(txt.contains("OPEN at horizon"), "{txt}");
+        assert!(txt.contains("[  flush]"), "{txt}");
+        assert!(txt.contains("critical path: flush"), "{txt}");
         // The machine-readable dump parses line by line.
         let jsonl = std::fs::read_to_string(&paths[1]).expect("jsonl dump");
         assert!(!jsonl.trim().is_empty());
@@ -550,6 +619,9 @@ mod tests {
     fn bug_knob_names_parse() {
         assert!(parse_bug("no-detector-reset").unwrap().no_detector_reset);
         assert!(parse_bug("no-flush-retry").unwrap().no_flush_retry);
+        // The symptom-named alias used by `experiments latency`.
+        assert!(parse_bug("wedged-flush").unwrap().no_flush_retry);
+        assert!(parse_bug("wedged_flush").unwrap().no_flush_retry);
         assert!(parse_bug("no-chain-reset").unwrap().no_chain_reset);
         assert!(parse_bug("frobnicate").is_none());
     }

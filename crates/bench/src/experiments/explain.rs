@@ -16,10 +16,17 @@
 //! representative cycle path.
 
 use crate::experiments::chaos;
+use crate::experiments::latency::{Chatter, GROUP_DROP, GROUP_HORIZON};
 use catocs::cbcast::BlockedReport;
-use catocs::group::{CausalDiscipline, MsgId};
+use catocs::endpoint::{Discipline, Endpoint};
+use catocs::group::{CausalDiscipline, GroupConfig, MsgId};
+use catocs::harness::{spawn_group, GroupNode};
 use catocs::vsync::BugKnobs;
 use catocs::waitgraph::WaitNode;
+use catocs::wire::Wire;
+use simnet::net::NetConfig;
+use simnet::sim::SimBuilder;
+use simnet::time::{SimDuration, SimTime};
 use std::fmt::Write as _;
 
 /// Caps that keep a deeply wedged queue readable: a message missing a
@@ -206,6 +213,170 @@ pub fn run_d(
     out
 }
 
+/// Which total-order discipline [`run_total`] explains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TotalKind {
+    /// Fixed-sequencer abcast (`--discipline abcast`).
+    Sequencer,
+    /// Token-ring total order (`--discipline token`).
+    Token,
+}
+
+/// The explainer for the total-order disciplines: runs the same
+/// deterministic harness-group workload the latency report uses, stops
+/// at the horizon, and asks each endpoint what its undelivered messages
+/// wait on — the missing order slot (abcast) or the rotation/token
+/// holder that fills the gap (token). The causes are the ledger's
+/// `order` and `token` phases, read from live endpoint state.
+///
+/// `at` picks the snapshot time (`--at MS`); by default the full-horizon
+/// state is shown, where a healthy group has usually drained — pick a
+/// mid-run instant to watch the order forming.
+pub fn run_total(seed: u64, msg: Option<MsgId>, at: Option<SimTime>, kind: TotalKind) -> String {
+    let n = chaos::size_for_seed(seed);
+    let horizon = at.unwrap_or(GROUP_HORIZON);
+    let discipline = match kind {
+        TotalKind::Sequencer => Discipline::Total { sequencer: 0 },
+        TotalKind::Token => Discipline::TotalToken,
+    };
+    let mut sim = SimBuilder::new(seed)
+        .net(NetConfig::lossy_lan(GROUP_DROP))
+        .build::<Wire<u64>>();
+    let pids = spawn_group(
+        &mut sim,
+        n,
+        discipline,
+        GroupConfig::default(),
+        Some(SimDuration::from_millis(20)),
+        |_| Chatter::standard(),
+    );
+    sim.run_until(horizon);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "EXPLAIN — seed {seed}, n={n}, harness group at {}ms ({})",
+        horizon.as_millis(),
+        match kind {
+            TotalKind::Sequencer => "abcast, sequencer P0",
+            TotalKind::Token => "token total order",
+        }
+    );
+    if kind == TotalKind::Token {
+        // Where the token is tells the reader who everyone else queues
+        // behind.
+        let holder = pids.iter().enumerate().find_map(|(i, pid)| {
+            let node: &GroupNode<u64, Chatter> = sim.process(*pid)?;
+            match node.endpoint() {
+                Endpoint::TotalToken(e) if e.holding_token() => Some(i),
+                _ => None,
+            }
+        });
+        match holder {
+            Some(p) => {
+                let _ = writeln!(out, "token holder at the snapshot: P{p}");
+            }
+            None => {
+                let _ = writeln!(out, "token in flight at the snapshot (no member holds it)");
+            }
+        }
+    }
+    let mut matched = 0usize;
+    let mut blocked_total = 0usize;
+    for (i, pid) in pids.iter().enumerate() {
+        let Some(node) = sim.process::<GroupNode<u64, Chatter>>(*pid) else {
+            continue;
+        };
+        let (blocked, queued_since) = match node.endpoint() {
+            Endpoint::Total(e) => (e.order_blocked(), None),
+            Endpoint::TotalToken(e) => (
+                e.order_blocked(),
+                e.oldest_queued_since().filter(|_| !e.holding_token()),
+            ),
+            _ => continue,
+        };
+        blocked_total += blocked.len();
+        let selected: Vec<_> = blocked
+            .iter()
+            .filter(|b| msg.is_none_or(|want| b.msg == want))
+            .collect();
+        matched += selected.len();
+        for b in selected.iter().take(MAX_MSGS_PER_PROC) {
+            let _ = writeln!(
+                out,
+                "P{i} holds m{}.{} (arrived {}us{}); it waits on:",
+                b.msg.sender,
+                b.msg.seq,
+                b.arrived_at.as_micros(),
+                match b.gseq {
+                    Some(g) => format!(", assigned order slot {g}"),
+                    None => String::new(),
+                }
+            );
+            let cause = match kind {
+                TotalKind::Sequencer => "order",
+                TotalKind::Token => "token",
+            };
+            match (b.slot_msg, b.gseq) {
+                (Some(slot_msg), _) => {
+                    let _ = writeln!(
+                        out,
+                        "  order slot {} = m{}.{} — slot's data not arrived here [{cause}]",
+                        b.missing_slot, slot_msg.sender, slot_msg.seq
+                    );
+                }
+                (None, Some(_)) => {
+                    let _ = writeln!(
+                        out,
+                        "  order slot {} — {} [{cause}]",
+                        b.missing_slot,
+                        match kind {
+                            TotalKind::Sequencer =>
+                                "no assignment for that slot has arrived from sequencer P0",
+                            TotalKind::Token =>
+                                "awaiting the rotation (or NACK repair) that fills it",
+                        }
+                    );
+                }
+                (None, None) => {
+                    let _ = writeln!(
+                        out,
+                        "  its own order assignment — not yet arrived from sequencer P0 [{cause}]"
+                    );
+                }
+            }
+        }
+        if selected.len() > MAX_MSGS_PER_PROC {
+            let _ = writeln!(
+                out,
+                "P{i}: ... and {} more blocked messages",
+                selected.len() - MAX_MSGS_PER_PROC
+            );
+        }
+        if let Some(since) = queued_since {
+            let _ = writeln!(
+                out,
+                "P{i} has submissions queued awaiting the token since {}us [token]",
+                since.as_micros()
+            );
+        }
+    }
+    if blocked_total == 0 {
+        let _ = writeln!(
+            out,
+            "no messages were awaiting a total-order slot at the snapshot"
+        );
+    } else if msg.is_some() && matched == 0 {
+        let want = msg.unwrap();
+        let _ = writeln!(
+            out,
+            "m{}.{} is not awaiting a total-order slot at the snapshot",
+            want.sender, want.seq
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,6 +481,53 @@ mod tests {
         let out = run(2, Some(MsgId { sender: 4, seq: 34 }), knobs);
         assert!(out.contains("stall component #"), "{out}");
         assert!(out.contains("flush@P"), "{out}");
+    }
+
+    /// Mid-run, the abcast explainer names the exact order slot a held
+    /// message waits on and who should have assigned it.
+    #[test]
+    fn abcast_explainer_names_the_missing_order_slot() {
+        let at = Some(simnet::time::SimTime::from_millis(45));
+        let out = run_total(0, None, at, TotalKind::Sequencer);
+        assert!(out.contains("(abcast, sequencer P0)"), "{out}");
+        assert!(out.contains("assigned order slot 21"), "{out}");
+        assert!(
+            out.contains("order slot 20 — no assignment for that slot has arrived"),
+            "{out}"
+        );
+        assert!(out.contains("[order]"), "{out}");
+        assert_eq!(out, run_total(0, None, at, TotalKind::Sequencer));
+    }
+
+    /// The token explainer names the current holder and what blocked
+    /// members queue behind.
+    #[test]
+    fn token_explainer_names_the_holder_and_the_gap() {
+        let early = Some(simnet::time::SimTime::from_millis(25));
+        let out = run_total(0, None, early, TotalKind::Token);
+        assert!(out.contains("token holder at the snapshot: P2"), "{out}");
+        assert!(
+            out.contains("P0 has submissions queued awaiting the token"),
+            "{out}"
+        );
+        let mid = Some(simnet::time::SimTime::from_millis(45));
+        let out = run_total(0, None, mid, TotalKind::Token);
+        assert!(
+            out.contains("order slot 13 — awaiting the rotation"),
+            "{out}"
+        );
+        assert!(out.contains("[token]"), "{out}");
+    }
+
+    /// By the full horizon a healthy group has drained; the report says
+    /// so instead of showing stale state.
+    #[test]
+    fn total_explainer_reports_a_drained_group() {
+        let out = run_total(0, None, None, TotalKind::Sequencer);
+        assert!(
+            out.contains("no messages were awaiting a total-order slot"),
+            "{out}"
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@ pub mod f1;
 pub mod f2;
 pub mod f3;
 pub mod f4;
+pub mod latency;
 pub mod t10;
 pub mod t11;
 pub mod t12;
@@ -50,6 +51,7 @@ pub fn run_all() -> Vec<Table> {
     out.push(t15::run(&[3, 5, 9]));
     out.push(t16::run());
     out.push(chaos::run(20).0);
+    out.push(latency::compare(0));
     out.extend(ablate::run());
     out
 }

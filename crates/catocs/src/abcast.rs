@@ -18,9 +18,29 @@
 use crate::cbcast::CbcastEndpoint;
 use crate::group::{GroupConfig, MsgId};
 use crate::wire::{Delivery, Dest, EndpointStats, Out, Wire};
-use simnet::obs::{ObsEvent, PhaseEdge, PhaseKind, ProbeHandle};
+use simnet::obs::{ObsEvent, PhaseEdge, PhaseKind, ProbeHandle, SpanId, Stage, WaitKind};
 use simnet::time::SimTime;
 use std::collections::{BTreeMap, HashMap};
+
+/// One message stuck behind the total order at inspection time: which
+/// order slot its delivery waits on and what is known about that slot.
+/// This is the explainer's view of the ledger's `order`/`token` wait
+/// taxonomy — same causes, read from live endpoint state instead of
+/// from delivery history.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OrderBlocked {
+    /// The held message.
+    pub msg: MsgId,
+    /// When its data arrived here.
+    pub arrived_at: SimTime,
+    /// Its own assigned slot in the total order, when known.
+    pub gseq: Option<u64>,
+    /// The order slot delivery is stuck on (the smallest unreleased one).
+    pub missing_slot: u64,
+    /// The message assigned to that slot, when the assignment (but not
+    /// the data) has arrived.
+    pub slot_msg: Option<MsgId>,
+}
 
 /// The total-order endpoint for one group member.
 #[derive(Debug)]
@@ -158,6 +178,28 @@ impl<P: Clone> AbcastEndpoint<P> {
         }
     }
 
+    /// Snapshot of every causally delivered message still awaiting its
+    /// total-order release, with the slot it waits on — the explainer's
+    /// structured answer to "what order slot is this stuck behind?".
+    /// Sorted by assigned slot (unassigned last), then message id.
+    pub fn order_blocked(&self) -> Vec<OrderBlocked> {
+        let missing_slot = self.released + 1;
+        let slot_msg = self.order.get(&missing_slot).copied();
+        let mut v: Vec<OrderBlocked> = self
+            .unreleased
+            .iter()
+            .map(|(id, d)| OrderBlocked {
+                msg: *id,
+                arrived_at: d.arrived_at,
+                gseq: self.ordered.get(id).copied(),
+                missing_slot,
+                slot_msg,
+            })
+            .collect();
+        v.sort_by_key(|b| (b.gseq.unwrap_or(u64::MAX), b.msg));
+        v
+    }
+
     /// Multicasts `payload`. Unlike cbcast there is no immediate
     /// self-delivery: the message is released when its global order slot
     /// comes up (immediately only at the sequencer).
@@ -293,11 +335,37 @@ impl<P: Clone> AbcastEndpoint<P> {
             self.released += 1;
             d.gseq = Some(self.released);
             let held = now > d.arrived_at;
+            let causal_at = d.delivered_at;
             d.delivered_at = now;
             self.stats.delivered += 1;
             if held {
                 self.stats.delivered_after_hold += 1;
                 self.stats.hold_time_total += now.saturating_since(d.arrived_at);
+            }
+            let gseq = self.released;
+            self.probe.emit(|| ObsEvent::Span {
+                at: now,
+                who: self.cb.me(),
+                span: SpanId {
+                    origin: id.sender,
+                    seq: id.seq,
+                },
+                stage: Stage::Delivered,
+                note: format!("released gseq {gseq}"),
+            });
+            if now > causal_at {
+                self.probe.emit(|| ObsEvent::Wait {
+                    at: now,
+                    who: self.cb.me(),
+                    span: SpanId {
+                        origin: id.sender,
+                        seq: id.seq,
+                    },
+                    kind: WaitKind::OrderWatermark,
+                    since: causal_at,
+                    blocker: None,
+                    note: String::new(),
+                });
             }
             released.push(d);
         }

@@ -25,9 +25,9 @@ use crate::holdback::{HoldbackQueue, Pending};
 use crate::stability::StabilityTracker;
 use crate::wire::{DataMsg, Delivery, Dest, EndpointStats, Out, VtWire, Wire};
 use clocks::vector::VectorClock;
-use simnet::obs::{ObsEvent, PhaseEdge, PhaseKind, ProbeHandle, SpanId, Stage};
+use simnet::obs::{ObsEvent, PhaseEdge, PhaseKind, ProbeHandle, SpanId, Stage, WaitKind};
 use simnet::time::SimTime;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The observability span for a message: its id, viewed group-wide.
 fn span_of(id: MsgId) -> SpanId {
@@ -252,6 +252,18 @@ pub struct CbcastEndpoint<P> {
     /// delta-chain reset (the S3 fix), reintroducing the stale-chain bug
     /// so fault campaigns can demonstrate the failing seed.
     skip_view_reset: bool,
+    /// When the current freeze began (None when not frozen) — the
+    /// latency ledger splits install-time holdback waits at this point
+    /// into a classified wait and a flush-barrier wait.
+    frozen_since: Option<SimTime>,
+    /// Set for the duration of the install-time holdback drain: the
+    /// freeze instant the just-ended flush began at.
+    install_thaw: Option<SimTime>,
+    /// Messages that arrived here after being chased via NACK — their
+    /// dependents' holdback waits are attributed to repair, not to a
+    /// plain causal dependency. Maintained unconditionally (cheap) so
+    /// probed and unprobed runs execute identically.
+    was_chased: BTreeSet<MsgId>,
     /// Observability sink. Disabled by default; emissions are read-only
     /// with respect to protocol state, so a probed run is byte-identical
     /// to an unprobed one.
@@ -288,6 +300,9 @@ impl<P: Clone> CbcastEndpoint<P> {
             force_full_next: false,
             frozen: false,
             skip_view_reset: false,
+            frozen_since: None,
+            install_thaw: None,
+            was_chased: BTreeSet::new(),
             probe: ProbeHandle::none(),
             stats: EndpointStats::default(),
         }
@@ -306,6 +321,7 @@ impl<P: Clone> CbcastEndpoint<P> {
     /// agreed. Receiving, buffering and NACK recovery continue.
     pub fn freeze(&mut self, now: SimTime) {
         if !self.frozen {
+            self.frozen_since = Some(now);
             self.probe.emit(|| ObsEvent::Phase {
                 at: now,
                 who: self.me,
@@ -597,10 +613,14 @@ impl<P: Clone> CbcastEndpoint<P> {
         self.stability_dirty = true;
         self.stats.note_holdback(self.holdback.len() as u64);
         self.collect_garbage(now);
-        // Thaw: deliver whatever queued up during the blackout.
+        // Thaw: deliver whatever queued up during the blackout. The
+        // install-time drain attributes each held delivery's frozen tail
+        // to the flush barrier, split at the freeze instant.
         self.frozen = false;
+        self.install_thaw = self.frozen_since.take();
         let mut delivered = Vec::new();
         self.drain_holdback(now, &mut delivered);
+        self.install_thaw = None;
         delivered
     }
 
@@ -1045,7 +1065,9 @@ impl<P: Clone> CbcastEndpoint<P> {
             self.collect_garbage(now);
             return;
         }
-        self.missing.remove(&msg.id);
+        if self.missing.remove(&msg.id).is_some() {
+            self.was_chased.insert(msg.id);
+        }
         // Note any causal predecessors we have never seen.
         self.register_missing(now, &msg, out);
         self.probe.emit(|| {
@@ -1144,6 +1166,10 @@ impl<P: Clone> CbcastEndpoint<P> {
             self.stats.note_holdback(self.holdback.len() as u64);
             return;
         }
+        // The delivery that released each subsequent pop in this drain:
+        // the previous pop advanced the clock past the last obstacle, so
+        // it is the held message's blocking predecessor.
+        let mut last_popped: Option<MsgId> = None;
         while let Some(pending) = self.holdback.pop_ready(&self.vt) {
             let msg = pending.msg;
             let sender = msg.id.sender;
@@ -1178,6 +1204,48 @@ impl<P: Clone> CbcastEndpoint<P> {
                         now.saturating_since(pending.arrived_at).as_micros()
                     ),
                 });
+                // Ledger attribution: why was it held, and on whom? The
+                // install-time drain splits the interval at the freeze
+                // instant — before it, the classified wait; after it,
+                // the flush barrier.
+                let kind = match last_popped {
+                    Some(b) if self.was_chased.contains(&b) => WaitKind::NackRepair,
+                    Some(b) if b.sender == sender => WaitKind::FifoGap,
+                    _ => WaitKind::CausalDep,
+                };
+                let blocker = last_popped.map(span_of);
+                let split = self
+                    .install_thaw
+                    .filter(|fs| *fs < now && *fs > pending.arrived_at);
+                if let Some(fs) = split {
+                    self.probe.emit(|| ObsEvent::Wait {
+                        at: fs,
+                        who: self.me,
+                        span: span_of(msg.id),
+                        kind,
+                        since: pending.arrived_at,
+                        blocker,
+                        note: String::new(),
+                    });
+                }
+                let frozen_tail = self.install_thaw.is_some();
+                self.probe.emit(|| ObsEvent::Wait {
+                    at: now,
+                    who: self.me,
+                    span: span_of(msg.id),
+                    kind: if frozen_tail {
+                        WaitKind::FlushBarrier
+                    } else {
+                        kind
+                    },
+                    since: split.unwrap_or(pending.arrived_at),
+                    blocker: if frozen_tail { None } else { blocker },
+                    note: if frozen_tail {
+                        "delivery frozen until the view installed".to_string()
+                    } else {
+                        String::new()
+                    },
+                });
             }
             self.probe.emit(|| ObsEvent::Span {
                 at: now,
@@ -1199,6 +1267,7 @@ impl<P: Clone> CbcastEndpoint<P> {
                 gseq: None,
                 waited_for,
             });
+            last_popped = Some(msg.id);
         }
         self.stats.note_holdback(self.holdback.len() as u64);
         self.note_buffer();

@@ -293,6 +293,18 @@ impl<P: Clone> Endpoint<P> {
         }
     }
 
+    /// Installs an observability probe on whichever discipline runs
+    /// underneath; the probe sees the same span/wait event stream no
+    /// matter which ordering guarantee is active.
+    pub fn set_probe(&mut self, probe: ProbeHandle) {
+        match self {
+            Endpoint::Fifo(e) => e.set_probe(probe),
+            Endpoint::Causal(e) => e.set_probe(probe),
+            Endpoint::Total(e) => e.set_probe(probe),
+            Endpoint::TotalToken(e) => e.set_probe(probe),
+        }
+    }
+
     /// The discipline this endpoint implements.
     pub fn discipline(&self) -> Discipline {
         match self {

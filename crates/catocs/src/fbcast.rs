@@ -11,8 +11,16 @@
 use crate::group::{GroupConfig, MsgId};
 use crate::wire::{DataMsg, Delivery, Dest, EndpointStats, Out, Wire};
 use clocks::vector::VectorClock;
+use simnet::obs::{ObsEvent, ProbeHandle, SpanId, Stage, WaitKind};
 use simnet::time::SimTime;
 use std::collections::BTreeMap;
+
+fn span_of(id: MsgId) -> SpanId {
+    SpanId {
+        origin: id.sender,
+        seq: id.seq,
+    }
+}
 
 /// One sender's incoming stream state.
 #[derive(Debug)]
@@ -49,6 +57,8 @@ pub struct FbcastEndpoint<P> {
     acked_by: Vec<u64>,
     /// Highest sequence known to exist from each sender (via gossip).
     known_max: Vec<u64>,
+    /// Observability sink (span + wait events). Disabled by default.
+    probe: ProbeHandle,
     stats: EndpointStats,
 }
 
@@ -65,8 +75,15 @@ impl<P: Clone> FbcastEndpoint<P> {
             sent_buffer: BTreeMap::new(),
             acked_by: vec![0; n],
             known_max: vec![0; n],
+            probe: ProbeHandle::none(),
             stats: EndpointStats::default(),
         }
+    }
+
+    /// Installs an observability probe; message lifecycle (send, wire
+    /// arrival, delivery) and FIFO-gap waits are recorded through it.
+    pub fn set_probe(&mut self, probe: ProbeHandle) {
+        self.probe = probe;
     }
 
     /// This member's index.
@@ -143,6 +160,13 @@ impl<P: Clone> FbcastEndpoint<P> {
         let mut vt = VectorClock::new(self.n);
         vt.set(self.me, self.next_seq);
         let msg = DataMsg::new(id, vt, payload.clone());
+        self.probe.emit(|| ObsEvent::Span {
+            at: now,
+            who: self.me,
+            span: span_of(id),
+            stage: Stage::Send,
+            note: String::new(),
+        });
         self.streams[self.me].delivered = self.next_seq;
         self.acked_by[self.me] = self.next_seq;
         self.sent_buffer.insert(self.next_seq, msg.clone());
@@ -267,11 +291,35 @@ impl<P: Clone> FbcastEndpoint<P> {
     ) {
         let k = msg.id.sender;
         let seq = msg.id.seq;
+        let wire_id = msg.id;
+        let retransmit = msg.retransmit;
+        self.probe.emit(|| ObsEvent::Span {
+            at: now,
+            who: self.me,
+            span: span_of(wire_id),
+            stage: Stage::Wire,
+            note: if retransmit {
+                "retransmit".to_string()
+            } else {
+                String::new()
+            },
+        });
         let stream = &mut self.streams[k];
         if seq <= stream.delivered || stream.pending.contains_key(&seq) {
             self.stats.duplicates += 1;
             return;
         }
+        if seq > stream.delivered + 1 {
+            let gap = stream.delivered + 1;
+            self.probe.emit(|| ObsEvent::Span {
+                at: now,
+                who: self.me,
+                span: span_of(wire_id),
+                stage: Stage::HoldbackEnter,
+                note: format!("FIFO gap: awaiting m{k}.{gap}"),
+            });
+        }
+        let stream = &mut self.streams[k];
         stream.pending.insert(seq, (msg, now));
         // Immediate NACK for a fresh gap.
         if seq > stream.delivered + 1 && stream.last_nack.is_none() {
@@ -298,6 +346,29 @@ impl<P: Clone> FbcastEndpoint<P> {
             if was_held {
                 self.stats.delivered_after_hold += 1;
                 self.stats.hold_time_total += now.saturating_since(arrived);
+            }
+            let span = span_of(m.id);
+            self.probe.emit(|| ObsEvent::Span {
+                at: now,
+                who: self.me,
+                span,
+                stage: Stage::Delivered,
+                note: String::new(),
+            });
+            if was_held {
+                let prev = MsgId {
+                    sender: k,
+                    seq: m.id.seq - 1,
+                };
+                self.probe.emit(|| ObsEvent::Wait {
+                    at: now,
+                    who: self.me,
+                    span,
+                    kind: WaitKind::FifoGap,
+                    since: arrived,
+                    blocker: Some(span_of(prev)),
+                    note: String::new(),
+                });
             }
             delivered.push(Delivery {
                 id: m.id,

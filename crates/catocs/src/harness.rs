@@ -310,6 +310,41 @@ where
     members
 }
 
+/// [`spawn_group`], but with an observability probe cloned onto every
+/// member's endpoint — the latency ledger and the flight recorder both
+/// attach here.
+#[allow(clippy::too_many_arguments)]
+pub fn spawn_group_with_probe<P, A, F>(
+    sim: &mut simnet::sim::Sim<Wire<P>>,
+    n: usize,
+    discipline: Discipline,
+    cfg: GroupConfig,
+    app_tick: Option<SimDuration>,
+    probe: simnet::obs::ProbeHandle,
+    mut make_app: F,
+) -> Vec<ProcessId>
+where
+    P: Clone + std::fmt::Debug + 'static,
+    A: GroupApp<P>,
+    F: FnMut(usize) -> A,
+{
+    let base = sim.n_processes();
+    let members: Vec<ProcessId> = (0..n).map(|i| ProcessId(base + i)).collect();
+    for me in 0..n {
+        let mut node = GroupNode::new(
+            discipline,
+            me,
+            members.clone(),
+            cfg.clone(),
+            make_app(me),
+            app_tick,
+        );
+        node.endpoint.set_probe(probe.clone());
+        sim.add_process(node);
+    }
+    members
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

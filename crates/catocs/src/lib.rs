@@ -49,6 +49,7 @@ pub mod fbcast;
 pub mod group;
 pub mod harness;
 pub mod holdback;
+pub mod ledger;
 pub mod membership;
 pub mod pccast;
 pub mod safety;

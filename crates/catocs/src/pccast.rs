@@ -61,7 +61,7 @@ use crate::holdback::{HoldbackQueue, Pending};
 use crate::stability::StabilityTracker;
 use crate::wire::{DataMsg, Delivery, Dest, EndpointStats, Out, VtWire, Wire};
 use clocks::vector::VectorClock;
-use simnet::obs::{ObsEvent, PhaseEdge, PhaseKind, ProbeHandle, SpanId, Stage};
+use simnet::obs::{ObsEvent, PhaseEdge, PhaseKind, ProbeHandle, SpanId, Stage, WaitKind};
 use simnet::time::SimTime;
 use std::collections::BTreeMap;
 
@@ -157,6 +157,12 @@ pub struct PccastEndpoint<P> {
     barrier: VectorClock,
     barrier_met: bool,
     frozen: bool,
+    /// When the current freeze began (None when not frozen) — the
+    /// latency ledger splits install-time waits at this instant.
+    frozen_since: Option<SimTime>,
+    /// Set for the duration of the install-time drain: the freeze
+    /// instant the just-ended flush began at.
+    install_thaw: Option<SimTime>,
     probe: ProbeHandle,
     stats: EndpointStats,
 }
@@ -185,6 +191,8 @@ impl<P: Clone> PccastEndpoint<P> {
             barrier: VectorClock::new(n),
             barrier_met: true,
             frozen: false,
+            frozen_since: None,
+            install_thaw: None,
             probe: ProbeHandle::none(),
             stats: EndpointStats::default(),
         }
@@ -201,6 +209,7 @@ impl<P: Clone> PccastEndpoint<P> {
     /// holdback queue keep accumulating.
     pub fn freeze(&mut self, now: SimTime) {
         if !self.frozen {
+            self.frozen_since = Some(now);
             self.probe.emit(|| ObsEvent::Phase {
                 at: now,
                 who: self.me,
@@ -633,9 +642,11 @@ impl<P: Clone> PccastEndpoint<P> {
         self.stats.note_holdback(self.holdback.len() as u64);
         self.collect_garbage(now);
         self.frozen = false;
+        self.install_thaw = self.frozen_since.take();
         let mut delivered = Vec::new();
         let mut out = Vec::new();
         self.drain(now, &mut delivered, &mut out);
+        self.install_thaw = None;
         (delivered, out)
     }
 
@@ -1167,7 +1178,7 @@ impl<P: Clone> PccastEndpoint<P> {
                             unreachable!("head was just matched as data");
                         };
                         link.cursor = next;
-                        self.deliver(now, arrived_at, msg, delivered, out);
+                        self.deliver(now, arrived_at, msg, WaitKind::LinkReorder, delivered, out);
                         any = true;
                     }
                     HeadAction::Chase(id) => {
@@ -1201,7 +1212,14 @@ impl<P: Clone> PccastEndpoint<P> {
         let mut any = false;
         while let Some(pending) = self.holdback.pop_ready(&self.vt) {
             let arrived_at = pending.arrived_at;
-            self.deliver(now, arrived_at, pending.msg, delivered, out);
+            self.deliver(
+                now,
+                arrived_at,
+                pending.msg,
+                WaitKind::NackRepair,
+                delivered,
+                out,
+            );
             any = true;
         }
         any
@@ -1215,6 +1233,7 @@ impl<P: Clone> PccastEndpoint<P> {
         now: SimTime,
         arrived_at: SimTime,
         msg: DataMsg<P>,
+        wait_kind: WaitKind,
         delivered: &mut Vec<Delivery<P>>,
         out: &mut Vec<Out<P>>,
     ) {
@@ -1233,6 +1252,40 @@ impl<P: Clone> PccastEndpoint<P> {
         if was_held {
             self.stats.delivered_after_hold += 1;
             self.stats.hold_time_total += now.saturating_since(arrived_at);
+            // Ledger attribution: a link-path delivery waited on its
+            // per-link reorder cursor, a repair-path one on a NACK
+            // retransmission. The install-time drain splits the interval
+            // at the freeze instant; the frozen tail is a flush wait.
+            let split = self.install_thaw.filter(|fs| *fs < now && *fs > arrived_at);
+            if let Some(fs) = split {
+                self.probe.emit(|| ObsEvent::Wait {
+                    at: fs,
+                    who: self.me,
+                    span: span_of(msg.id),
+                    kind: wait_kind,
+                    since: arrived_at,
+                    blocker: None,
+                    note: String::new(),
+                });
+            }
+            let frozen_tail = self.install_thaw.is_some();
+            self.probe.emit(|| ObsEvent::Wait {
+                at: now,
+                who: self.me,
+                span: span_of(msg.id),
+                kind: if frozen_tail {
+                    WaitKind::FlushBarrier
+                } else {
+                    wait_kind
+                },
+                since: split.unwrap_or(arrived_at),
+                blocker: None,
+                note: if frozen_tail {
+                    "delivery frozen until the view installed".to_string()
+                } else {
+                    String::new()
+                },
+            });
         }
         self.probe.emit(|| ObsEvent::Span {
             at: now,

@@ -15,7 +15,7 @@
 use crate::group::{GroupConfig, MsgId};
 use crate::wire::{DataMsg, Delivery, Dest, EndpointStats, Out, Wire};
 use clocks::vector::VectorClock;
-use simnet::obs::{ObsEvent, PhaseEdge, PhaseKind, ProbeHandle};
+use simnet::obs::{ObsEvent, PhaseEdge, PhaseKind, ProbeHandle, SpanId, Stage, WaitKind};
 use simnet::time::SimTime;
 use std::collections::{BTreeMap, VecDeque};
 
@@ -165,6 +165,34 @@ impl<P: Clone> TokenAbcastEndpoint<P> {
         }
     }
 
+    /// Snapshot of buffered data stuck behind a total-order gap, with
+    /// the slot each waits on — the token-ring counterpart of
+    /// [`crate::abcast::AbcastEndpoint::order_blocked`]. Here every
+    /// stamped message knows its own slot; what is missing is the data
+    /// for the next deliverable one, which a future token rotation (or
+    /// NACK repair) fills.
+    pub fn order_blocked(&self) -> Vec<crate::abcast::OrderBlocked> {
+        let missing_slot = self.next_deliver + 1;
+        let slot_msg = self.by_gseq.get(&missing_slot).map(|(m, _)| m.id);
+        self.by_gseq
+            .range(self.next_deliver + 2..)
+            .map(|(&gseq, (m, arrived))| crate::abcast::OrderBlocked {
+                msg: m.id,
+                arrived_at: *arrived,
+                gseq: Some(gseq),
+                missing_slot,
+                slot_msg,
+            })
+            .collect()
+    }
+
+    /// When the oldest queued submission (made without the token) has
+    /// been waiting, if any — the explainer's "how long has this member
+    /// wanted the token?".
+    pub fn oldest_queued_since(&self) -> Option<SimTime> {
+        self.pending_submit.front().map(|(_, t)| *t)
+    }
+
     /// Submits `payload` for totally ordered multicast. If the token is
     /// held, the message goes out (and may deliver) immediately;
     /// otherwise it queues until the token arrives.
@@ -238,6 +266,22 @@ impl<P: Clone> TokenAbcastEndpoint<P> {
             }
             Wire::Data(msg) => {
                 self.stats.data_received += 1;
+                let wire_id = msg.id;
+                let retransmit = msg.retransmit;
+                self.probe.emit(|| ObsEvent::Span {
+                    at: now,
+                    who: self.me,
+                    span: SpanId {
+                        origin: wire_id.sender,
+                        seq: wire_id.seq,
+                    },
+                    stage: Stage::Wire,
+                    note: if retransmit {
+                        "retransmit".to_string()
+                    } else {
+                        String::new()
+                    },
+                });
                 // The vt slot carries the global sequence in component 0
                 // (by construction in drain_submissions).
                 let gseq = msg.vt.get(0);
@@ -329,6 +373,30 @@ impl<P: Clone> TokenAbcastEndpoint<P> {
             // Own messages are timed from submission, so the release hold
             // time includes the wait for the token rotation.
             self.by_gseq.insert(gseq, (msg.clone(), submitted));
+            let span = SpanId {
+                origin: msg.id.sender,
+                seq: msg.id.seq,
+            };
+            self.probe.emit(|| ObsEvent::Span {
+                at: submitted,
+                who: self.me,
+                span,
+                stage: Stage::Send,
+                note: format!("gseq {gseq}"),
+            });
+            if submitted < now {
+                // The submission sat in the local queue until the token
+                // arrived: charge that window to the token hold phase.
+                self.probe.emit(|| ObsEvent::Wait {
+                    at: now,
+                    who: self.me,
+                    span,
+                    kind: WaitKind::TokenHold,
+                    since: submitted,
+                    blocker: None,
+                    note: "queued awaiting the token".to_string(),
+                });
+            }
             self.stats.sent += 1;
             let w = Wire::Data(msg);
             self.stats.data_overhead_bytes += w.overhead_bytes() as u64;
@@ -347,6 +415,29 @@ impl<P: Clone> TokenAbcastEndpoint<P> {
             if held {
                 self.stats.delivered_after_hold += 1;
                 self.stats.hold_time_total += now.saturating_since(arrived);
+            }
+            let span = SpanId {
+                origin: msg.id.sender,
+                seq: msg.id.seq,
+            };
+            let gseq = self.next_deliver;
+            self.probe.emit(|| ObsEvent::Span {
+                at: now,
+                who: self.me,
+                span,
+                stage: Stage::Delivered,
+                note: format!("gseq {gseq}"),
+            });
+            if held {
+                self.probe.emit(|| ObsEvent::Wait {
+                    at: now,
+                    who: self.me,
+                    span,
+                    kind: WaitKind::TokenRotation,
+                    since: arrived,
+                    blocker: None,
+                    note: String::new(),
+                });
             }
             dels.push(Delivery {
                 id: msg.id,

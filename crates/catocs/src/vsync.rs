@@ -39,6 +39,7 @@ use crate::cbcast::BlockedReport;
 use crate::endpoint::CausalEndpoint;
 use crate::failure::FailureDetector;
 use crate::group::{GroupConfig, MsgId};
+use crate::ledger::{LatencySummary, TeeProbe};
 use crate::membership::{FlushAction, MembershipEngine};
 use crate::waitgraph::{analyze, PhaseTag, StallSnapshot, StallTracker, WaitEdge, WaitNode};
 use crate::wire::{Dest, Out, Wire};
@@ -46,7 +47,7 @@ use clocks::vector::VectorClock;
 use simnet::fault::{FaultPlan, FaultPlanConfig};
 use simnet::metrics::Histogram;
 use simnet::net::NetConfig;
-use simnet::obs::ProbeHandle;
+use simnet::obs::{Probe, ProbeHandle};
 use simnet::process::{Ctx, Process, ProcessId, TimerId};
 use simnet::sim::SimBuilder;
 use simnet::time::{SimDuration, SimTime};
@@ -531,6 +532,11 @@ pub struct CampaignResult {
     /// edge's age (µs) across the whole group. Informational —
     /// digest-excluded, like [`Self::hold_hist`].
     pub wait_hist: Histogram,
+    /// Per-message latency-provenance ledger: every delivered message's
+    /// send→deliver time decomposed into attributed phases, plus the
+    /// ordering-tax histograms (see [`crate::ledger`]). Informational —
+    /// digest-excluded, like [`Self::hold_hist`].
+    pub latency: LatencySummary,
 }
 
 const TICK: TimerId = TimerId(0);
@@ -912,15 +918,41 @@ pub fn run_campaign(seed: u64, cfg: &CampaignConfig) -> CampaignResult {
 /// [`run_campaign`] with an observability probe installed on every
 /// node's endpoint. Probe emissions are read-only, so the result —
 /// including the digest — is identical to an unprobed run of the same
-/// seed; only the probe's recording differs.
+/// seed; only the probe's recording differs. The latency ledger rides
+/// along by default (it is itself a probe, so it cannot perturb the
+/// run either).
 pub fn run_campaign_with(seed: u64, cfg: &CampaignConfig, probe: ProbeHandle) -> CampaignResult {
+    run_campaign_with_opts(seed, cfg, probe, true)
+}
+
+/// [`run_campaign_with`], with the latency-provenance ledger optional.
+/// `ledger: false` runs the caller's probe alone — the determinism
+/// tests pin that both settings produce byte-identical digests.
+pub fn run_campaign_with_opts(
+    seed: u64,
+    cfg: &CampaignConfig,
+    probe: ProbeHandle,
+    ledger: bool,
+) -> CampaignResult {
     let plan = FaultPlan::generate(seed, cfg.n, &cfg.plan);
     let mut sim = SimBuilder::new(seed)
         .net(NetConfig::lossy_lan(cfg.drop_probability))
         .sample_every(SAMPLE_EVERY)
         .build::<Wire<u64>>();
+    // The tee folds every event into the ledger while forwarding to the
+    // caller's probe (flight recorder, usually). Shared via `Rc` so the
+    // sampler below can read live gauges — sound single-threaded.
+    let tee: Option<Rc<RefCell<TeeProbe>>> = if ledger {
+        Some(Rc::new(RefCell::new(TeeProbe::new(probe.clone()))))
+    } else {
+        None
+    };
+    let node_probe = match &tee {
+        Some(t) => ProbeHandle::new(Rc::clone(t) as Rc<RefCell<dyn Probe>>),
+        None => probe,
+    };
     for me in 0..cfg.n {
-        sim.add_process(ChaosNode::with_probe(me, cfg, probe.clone()));
+        sim.add_process(ChaosNode::with_probe(me, cfg, node_probe.clone()));
     }
     plan.apply(&mut sim);
     // Live wait-graph analytics ride the sampling cadence: the hook sees
@@ -933,6 +965,7 @@ pub fn run_campaign_with(seed: u64, cfg: &CampaignConfig, probe: ProbeHandle) ->
         let tracker = Rc::clone(&tracker);
         let wait_hist = Rc::clone(&wait_hist);
         let timeline = Rc::clone(&timeline);
+        let tee = tee.clone();
         sim.set_group_sampler(Box::new(move |at, procs, metrics| {
             let snap = snapshot_stalls(
                 at,
@@ -943,6 +976,12 @@ pub fn run_campaign_with(seed: u64, cfg: &CampaignConfig, probe: ProbeHandle) ->
             metrics.sample("ts.stall.count", at, snap.stalls.len() as f64);
             metrics.sample("ts.stall.max_age_ms", at, snap.max_age.as_millis_f64());
             metrics.sample("ts.stall.worst_scc", at, snap.worst_scc_size as f64);
+            if let Some(t) = &tee {
+                let l = &t.borrow().ledger;
+                metrics.sample("ts.latency.mean_us", at, l.live_mean_us());
+                metrics.sample("ts.latency.open", at, l.live_open() as f64);
+                metrics.sample("ts.latency.delivered", at, l.live_delivered() as f64);
+            }
             timeline.borrow_mut().push((at, snap));
         }));
     }
@@ -1024,6 +1063,9 @@ pub fn run_campaign_with(seed: u64, cfg: &CampaignConfig, probe: ProbeHandle) ->
         .map(|(_, s)| s.clone())
         .unwrap_or_default();
     let wait_hist = wait_hist.borrow().clone();
+    let latency = tee
+        .map(|t| t.borrow().ledger.finalize(cfg.plan.horizon))
+        .unwrap_or_default();
 
     CampaignResult {
         seed,
@@ -1042,6 +1084,7 @@ pub fn run_campaign_with(seed: u64, cfg: &CampaignConfig, probe: ProbeHandle) ->
         stalls,
         stall_timeline,
         wait_hist,
+        latency,
     }
 }
 
@@ -1278,6 +1321,99 @@ mod tests {
     }
 
     #[test]
+    fn ledger_rides_every_campaign_without_changing_the_digest() {
+        // The latency ledger is on by default; a ledger-off run of the
+        // same seed must produce a byte-identical digest, and the
+        // ledger-on run must actually have attributed something.
+        let cfg = CampaignConfig::default();
+        let with = run_campaign(11, &cfg);
+        let without = run_campaign_with_opts(11, &cfg, ProbeHandle::none(), false);
+        assert_eq!(with.digest, without.digest);
+        assert_eq!(with.violations, without.violations);
+        assert_eq!(with.delivered_total, without.delivered_total);
+        assert!(
+            !with.latency.entries.is_empty(),
+            "ledger-on run attributed nothing"
+        );
+        assert!(without.latency.entries.is_empty());
+        assert!(with
+            .latency
+            .per_phase
+            .contains_key(&crate::ledger::PhaseId::Wire));
+        // Every closed entry tiles exactly: segment durations sum to the
+        // end-to-end latency, no gaps, no double-counting.
+        for e in &with.latency.entries {
+            let total = e
+                .segments
+                .iter()
+                .fold(SimDuration::ZERO, |acc, s| acc + s.dur());
+            assert_eq!(
+                total,
+                e.latency(),
+                "entry {} at p{} does not tile: {:?}",
+                e.span,
+                e.receiver,
+                e.segments
+            );
+        }
+    }
+
+    #[test]
+    fn wedged_flush_ledger_charges_the_flush_barrier() {
+        // Seed 2 with flush retries disabled wedges the S2 view change;
+        // the ledger must attribute the stuck messages' time to the
+        // flush-barrier phase and name it as their critical path.
+        let cfg = CampaignConfig {
+            n: 7,
+            group: GroupConfig {
+                indexed_holdback: true,
+                delta_timestamps: true,
+                ..GroupConfig::default()
+            },
+            knobs: BugKnobs {
+                no_flush_retry: true,
+                ..BugKnobs::default()
+            },
+            ..CampaignConfig::default()
+        };
+        let r = run_campaign(2, &cfg);
+        assert!(!r.violations.is_empty());
+        let flush_share = |e: &crate::ledger::LedgerEntry| {
+            let flush = e
+                .phase_totals()
+                .get(&crate::ledger::PhaseId::Flush)
+                .copied()
+                .unwrap_or(SimDuration::ZERO);
+            flush.as_micros() as f64 / e.latency().as_micros().max(1) as f64
+        };
+        let wedged = r
+            .latency
+            .entries
+            .iter()
+            .filter(|e| e.open)
+            .max_by(|a, b| flush_share(a).total_cmp(&flush_share(b)))
+            .expect("wedged flush must leave open ledger entries");
+        let totals = wedged.phase_totals();
+        let flush = totals
+            .get(&crate::ledger::PhaseId::Flush)
+            .copied()
+            .unwrap_or(SimDuration::ZERO);
+        let share = flush.as_micros() as f64 / wedged.latency().as_micros().max(1) as f64;
+        assert!(
+            share >= 0.9,
+            "flush-barrier share {share:.2} below 90% for {} at p{}: {:?}",
+            wedged.span,
+            wedged.receiver,
+            wedged.segments
+        );
+        assert_eq!(
+            wedged.critical_path(),
+            Some(crate::ledger::PhaseId::Flush),
+            "critical path must be the flush barrier"
+        );
+    }
+
+    #[test]
     fn wedged_flush_produces_blocked_or_frozen_evidence() {
         // Seed 2 with flush retries disabled wedges the S2 view change;
         // the campaign result must carry post-mortem evidence (frozen
@@ -1330,6 +1466,53 @@ mod tests {
 
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(24))]
+            /// On any seed-derived fault schedule, in every cell of
+            /// {cbcast,pccast} × {scan,indexed} × {full,delta}, every
+            /// ledger entry's phase segments tile the send→end interval
+            /// exactly: contiguous, no gaps, no double-counting.
+            #[test]
+            fn ledger_phases_tile_exactly_on_random_fault_plans(
+                seed in 0u64..10_000,
+                n in 3usize..8,
+                indexed in proptest::bool::ANY,
+                delta in proptest::bool::ANY,
+                pccast in proptest::bool::ANY,
+            ) {
+                let cfg = CampaignConfig {
+                    n,
+                    group: GroupConfig {
+                        indexed_holdback: indexed,
+                        delta_timestamps: delta,
+                        discipline: if pccast {
+                            crate::group::CausalDiscipline::Pccast
+                        } else {
+                            crate::group::CausalDiscipline::Cbcast
+                        },
+                        ..GroupConfig::default()
+                    },
+                    ..CampaignConfig::default()
+                };
+                let r = run_campaign(seed, &cfg);
+                prop_assert!(!r.latency.entries.is_empty(), "seed {seed}: no ledger entries");
+                for e in &r.latency.entries {
+                    let mut cursor = e.send_at;
+                    for s in &e.segments {
+                        prop_assert_eq!(
+                            s.from, cursor,
+                            "seed {} {} at p{}: gap or overlap before {:?} (segments {:?})",
+                            seed, e.span, e.receiver, s, e.segments
+                        );
+                        prop_assert!(s.to > s.from, "empty segment {s:?}");
+                        cursor = s.to;
+                    }
+                    prop_assert_eq!(
+                        cursor, e.end,
+                        "seed {} {} at p{}: segments end short of the entry (segments {:?})",
+                        seed, e.span, e.receiver, e.segments
+                    );
+                }
+            }
+
             /// Any seed-derived fault schedule, group size and
             /// optimisation cell upholds the virtual-synchrony
             /// invariants, and every pair of survivors delivered

@@ -141,6 +141,53 @@ pub enum PhaseEdge {
     Point,
 }
 
+/// Why a message waited before delivery — the latency-ledger cause
+/// taxonomy. Each delivered message's send→deliver interval decomposes
+/// into wire transit plus zero or more of these waits; the ledger
+/// ([`catocs::ledger`] downstream) tiles them into an exact latency
+/// attribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WaitKind {
+    /// Held in the holdback queue for a causal predecessor from another
+    /// sender.
+    CausalDep,
+    /// Held for an earlier message from the *same* sender (FIFO gap).
+    FifoGap,
+    /// Held while a NACK-requested retransmission was in flight (the
+    /// missing predecessor had been chased).
+    NackRepair,
+    /// Held in a pccast per-link reorder buffer behind the link cursor.
+    LinkReorder,
+    /// Causally delivered but held for the abcast total-order watermark
+    /// (its gseq slot, or an earlier one, was not yet released).
+    OrderWatermark,
+    /// Held at a receiver for the token-stamped global sequence to become
+    /// contiguous (an earlier gseq's data had not arrived).
+    TokenRotation,
+    /// Held at the *origin* in the submit queue until the token arrived
+    /// (pre-send wait; applies to every receiver of the message).
+    TokenHold,
+    /// Held by a view-change flush: delivery frozen between the freeze
+    /// and the view install.
+    FlushBarrier,
+}
+
+impl WaitKind {
+    /// Stable lowercase name, used in dumps and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            WaitKind::CausalDep => "causal-dep",
+            WaitKind::FifoGap => "fifo-gap",
+            WaitKind::NackRepair => "nack-repair",
+            WaitKind::LinkReorder => "link-reorder",
+            WaitKind::OrderWatermark => "order-watermark",
+            WaitKind::TokenRotation => "token-rotation",
+            WaitKind::TokenHold => "token-hold",
+            WaitKind::FlushBarrier => "flush-barrier",
+        }
+    }
+}
+
 /// One observability event.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ObsEvent {
@@ -170,20 +217,44 @@ pub enum ObsEvent {
         /// Free-form detail.
         note: String,
     },
+    /// An attributed wait interval `[since, at)` a message spent blocked
+    /// at one process, emitted when the wait *ends*. The latency ledger
+    /// tiles these into per-message phase decompositions.
+    Wait {
+        /// When the wait ended.
+        at: SimTime,
+        /// Observing process (member index).
+        who: usize,
+        /// Which message waited.
+        span: SpanId,
+        /// Why it waited.
+        kind: WaitKind,
+        /// When the wait began.
+        since: SimTime,
+        /// The message whose delivery (or arrival) ended the wait, when
+        /// one can be named.
+        blocker: Option<SpanId>,
+        /// Free-form detail.
+        note: String,
+    },
 }
 
 impl ObsEvent {
     /// The instant the event occurred.
     pub fn at(&self) -> SimTime {
         match self {
-            ObsEvent::Span { at, .. } | ObsEvent::Phase { at, .. } => *at,
+            ObsEvent::Span { at, .. } | ObsEvent::Phase { at, .. } | ObsEvent::Wait { at, .. } => {
+                *at
+            }
         }
     }
 
     /// The observing process.
     pub fn who(&self) -> usize {
         match self {
-            ObsEvent::Span { who, .. } | ObsEvent::Phase { who, .. } => *who,
+            ObsEvent::Span { who, .. }
+            | ObsEvent::Phase { who, .. }
+            | ObsEvent::Wait { who, .. } => *who,
         }
     }
 
@@ -225,6 +296,24 @@ impl ObsEvent {
                 },
                 escape(note)
             ),
+            ObsEvent::Wait {
+                at,
+                who,
+                span,
+                kind,
+                since,
+                blocker,
+                note,
+            } => format!(
+                "{{\"kind\":\"wait\",\"at\":{},\"who\":{},\"span\":\"{}\",\"wait\":\"{}\",\"since\":{},\"blocker\":\"{}\",\"note\":\"{}\"}}",
+                at.as_micros(),
+                who,
+                span,
+                kind.name(),
+                since.as_micros(),
+                blocker.map(|b| b.to_string()).unwrap_or_default(),
+                escape(note)
+            ),
         }
     }
 
@@ -256,6 +345,28 @@ impl ObsEvent {
                 s.push(']');
                 if !note.is_empty() {
                     let _ = write!(s, " {note}");
+                }
+                s
+            }
+            ObsEvent::Wait {
+                span,
+                kind,
+                since,
+                at,
+                blocker,
+                note,
+                ..
+            } => {
+                let mut s = format!(
+                    "{span} waited {}us [{}]",
+                    at.as_micros().saturating_sub(since.as_micros()),
+                    kind.name()
+                );
+                if let Some(b) = blocker {
+                    let _ = write!(s, " on {b}");
+                }
+                if !note.is_empty() {
+                    let _ = write!(s, " ({note})");
                 }
                 s
             }
@@ -480,7 +591,7 @@ pub fn perfetto_json(
             "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{p},\"tid\":0,\"args\":{{\"name\":\"{}\"}}}}",
             escape(&full)
         ));
-        for (tid, tname) in [(0, "net"), (1, "spans"), (2, "phases")] {
+        for (tid, tname) in [(0, "net"), (1, "spans"), (2, "phases"), (3, "waits")] {
             evs.push(format!(
                 "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{p},\"tid\":{tid},\"args\":{{\"name\":\"{tname}\"}}}}"
             ));
@@ -655,6 +766,25 @@ pub fn perfetto_json(
                         )),
                     }
                 }
+                ObsEvent::Wait {
+                    who,
+                    span,
+                    kind,
+                    since,
+                    at,
+                    ..
+                } => {
+                    // Phase-colored duration slice on the waits track:
+                    // the `cat` is the wait kind, so Perfetto assigns a
+                    // distinct color per attribution phase.
+                    let t0 = since.as_micros();
+                    let dur = at.as_micros().saturating_sub(t0).max(1);
+                    evs.push(format!(
+                        "{{\"name\":\"{span} {}\",\"cat\":\"wait-{}\",\"ph\":\"X\",\"ts\":{t0},\"dur\":{dur},\"pid\":{who},\"tid\":3}}",
+                        kind.name(),
+                        kind.name()
+                    ));
+                }
             }
         }
     }
@@ -794,6 +924,47 @@ mod tests {
         assert!(d.contains("P0:a"), "{d}");
         assert!(d.contains("m0.1 send"), "{d}");
         assert!(d.contains("m0.1 delivered"), "{d}");
+    }
+
+    #[test]
+    fn wait_events_render_in_json_label_and_perfetto() {
+        let (handle, rec) = ProbeHandle::recorder(8);
+        handle.emit(|| ObsEvent::Wait {
+            at: SimTime::from_micros(40),
+            who: 1,
+            span: SpanId { origin: 0, seq: 2 },
+            kind: WaitKind::CausalDep,
+            since: SimTime::from_micros(15),
+            blocker: Some(SpanId { origin: 2, seq: 1 }),
+            note: "released by drain".into(),
+        });
+        let lines = rec.borrow().to_json_lines();
+        let v = JsonValue::parse(lines.lines().next().unwrap()).expect("valid JSON");
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("wait"));
+        assert_eq!(v.get("wait").unwrap().as_str(), Some("causal-dep"));
+        assert_eq!(v.get("since").unwrap().as_u64(), Some(15));
+        assert_eq!(v.get("blocker").unwrap().as_str(), Some("m2.1"));
+        let ev = &rec.borrow().events(1)[0].clone();
+        let label = ev.label();
+        assert!(
+            label.contains("m0.2 waited 25us [causal-dep] on m2.1"),
+            "{label}"
+        );
+        // Perfetto: a duration slice on the waits track, phase-colored by cat.
+        let out = perfetto_json(None, Some(&rec.borrow()), 2, &[]);
+        let doc = JsonValue::parse(&out).expect("perfetto output parses");
+        let evs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let slice = evs
+            .iter()
+            .find(|e| {
+                e.get("cat")
+                    .is_some_and(|c| c.as_str() == Some("wait-causal-dep"))
+            })
+            .expect("wait slice present");
+        assert_eq!(slice.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(slice.get("ts").unwrap().as_u64(), Some(15));
+        assert_eq!(slice.get("dur").unwrap().as_u64(), Some(25));
+        assert_eq!(slice.get("tid").unwrap().as_u64(), Some(3));
     }
 
     #[test]
